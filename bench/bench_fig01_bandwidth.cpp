@@ -1,0 +1,71 @@
+// Figure 1: the client bandwidth distribution driving everything else.
+// (a) joint download/upload samples, (b) the CDF of each direction.
+// The paper uses M-Lab NDT measurements for North America (June 2022);
+// our edge environment is a log-normal mixture calibrated to the same
+// quantiles (~20% of clients below 10 Mbps download, median ~50 Mbps,
+// upload several times slower than download).
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+using namespace gluefl;
+
+int main() {
+  bench::print_header("Client bandwidth distribution", "Figure 1a/1b");
+
+  const NetworkEnv env = make_edge_env();
+  Rng rng(2022);
+  const int n = 20000;
+  std::vector<double> down, up;
+  down.reserve(n);
+  up.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const LinkSpec l = env.bandwidth.sample(rng);
+    down.push_back(l.down_mbps);
+    up.push_back(l.up_mbps);
+  }
+
+  TablePrinter q;
+  q.set_headers({"quantile", "download (Mbps)", "upload (Mbps)"});
+  for (double p : {0.1, 0.2, 0.5, 0.8, 0.9, 0.99}) {
+    q.add_row({fmt_percent(p), fmt_double(percentile(down, p), 1),
+               fmt_double(percentile(up, p), 1)});
+  }
+  std::cout << q.to_string();
+
+  std::cout << "\nP(download <= 10 Mbps) = " << fmt_percent(ecdf(down, 10.0))
+            << "   (paper: ~20%)\n";
+  std::cout << "ShuffleNet-size (20 MB) download for a 10 Mbps client: "
+            << fmt_seconds(transfer_seconds(20e6, 10.0))
+            << "   (paper: >= 20 s. Model download bytes use the real 5M-param size.)\n";
+
+  std::cout << "\nCDF series (log-spaced Mbps, fraction of clients):\n";
+  TablePrinter cdf;
+  cdf.set_headers({"Mbps", "download CDF", "upload CDF"});
+  for (const auto& [x, f] : cdf_series(down, 12, /*log_space=*/true)) {
+    cdf.add_row({fmt_double(x, 1), fmt_double(f, 3),
+                 fmt_double(ecdf(up, x), 3)});
+  }
+  std::cout << cdf.to_string();
+
+  std::cout << "\nOther environments (median down/up Mbps):\n";
+  TablePrinter envs;
+  envs.set_headers({"environment", "down", "up"});
+  for (const char* name : {"edge", "5g", "datacenter"}) {
+    const NetworkEnv e = make_env(name);
+    Rng r(7);
+    std::vector<double> d, u;
+    for (int i = 0; i < 4000; ++i) {
+      const LinkSpec l = e.bandwidth.sample(r);
+      d.push_back(l.down_mbps);
+      u.push_back(l.up_mbps);
+    }
+    envs.add_row({name, fmt_double(percentile(d, 0.5), 0),
+                  fmt_double(percentile(u, 0.5), 0)});
+  }
+  std::cout << envs.to_string();
+  return 0;
+}

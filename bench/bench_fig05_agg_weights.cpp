@@ -1,0 +1,22 @@
+// Figure 5: unbiased inverse-propensity aggregation weights versus equal
+// weights (1/K). Equal weights over-represent the sticky group and bias
+// the update (Theorem 1); the figure shows unbiased weights converge at
+// least as fast per downstream GB.
+#include "bench_sensitivity_common.h"
+
+using namespace gluefl;
+using namespace gluefl::bench;
+
+int main() {
+  run_sensitivity(
+      "Aggregation weights: unbiased vs equal", "Figure 5",
+      {
+          named_variant("fedavg"),
+          named_variant("stc"),
+          named_variant("apf"),
+          gluefl_variant("gluefl-equal",
+                         [](GlueFlConfig& c) { c.equal_weights = true; }),
+          gluefl_variant("gluefl-unbiased", [](GlueFlConfig&) {}),
+      });
+  return 0;
+}

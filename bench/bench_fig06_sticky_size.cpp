@@ -1,0 +1,22 @@
+// Figure 6: effect of the sticky-group size S (30/60/120/240 at K=30).
+// Larger S diversifies the sticky pool (more distinct data) at the price
+// of more staleness inside the group; S = 4K is the paper's default.
+#include "bench_sensitivity_common.h"
+
+using namespace gluefl;
+using namespace gluefl::bench;
+
+int main() {
+  std::vector<Variant> variants{named_variant("fedavg")};
+  for (int s : {30, 60, 120, 240}) {
+    variants.push_back(gluefl_variant(
+        "gluefl-S" + std::to_string(s), [s](GlueFlConfig& c) {
+          c.sticky_group_size = s;
+          // keep C <= S and C < K
+          c.sticky_per_round = std::min(c.sticky_per_round, s);
+          if (s == 30) c.sticky_per_round = 24;
+        }));
+  }
+  run_sensitivity("Sticky group size S", "Figure 6", variants);
+  return 0;
+}

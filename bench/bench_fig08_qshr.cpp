@@ -1,0 +1,19 @@
+// Figure 8: effect of the shared-mask ratio q_shr (4/8/16 % of the 20%
+// total budget for ShuffleNet). A large q_shr bounds per-round mask churn
+// hardest and uses the least downstream bandwidth; regeneration + error
+// compensation keep accuracy from degrading.
+#include "bench_sensitivity_common.h"
+
+using namespace gluefl;
+using namespace gluefl::bench;
+
+int main() {
+  std::vector<Variant> variants{named_variant("fedavg")};
+  for (double qs : {0.04, 0.08, 0.16}) {
+    variants.push_back(gluefl_variant(
+        "gluefl-qshr" + fmt_percent(qs),
+        [qs](GlueFlConfig& c) { c.q_shr = qs; }));
+  }
+  run_sensitivity("Shared mask ratio q_shr", "Figure 8", variants);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 10 (ablation): shared-mask regeneration cadence I in {10, 20, inf}.
+// Regeneration re-seeds the mask from a pure top-q round so coordinates
+// that became unstable re-enter the shared mask; I=10 is the paper's best.
+#include "bench_sensitivity_common.h"
+
+using namespace gluefl;
+using namespace gluefl::bench;
+
+int main() {
+  run_sensitivity(
+      "Shared mask regeneration interval I", "Figure 10",
+      {
+          named_variant("fedavg"),
+          gluefl_variant("gluefl-I10",
+                         [](GlueFlConfig& c) { c.regen_every = 10; }),
+          gluefl_variant("gluefl-I20",
+                         [](GlueFlConfig& c) { c.regen_every = 20; }),
+          gluefl_variant("gluefl-Iinf",
+                         [](GlueFlConfig& c) { c.regen_every = 0; }),
+      });
+  return 0;
+}

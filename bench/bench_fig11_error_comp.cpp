@@ -1,0 +1,29 @@
+// Figure 11 (ablation): error compensation off (None), raw (EC), and
+// re-scaled (REC, Eq. 7). The paper shows EC without re-scaling breaks
+// convergence under sticky sampling because the stored residual was
+// accumulated under a different aggregation weight.
+#include "bench_sensitivity_common.h"
+
+using namespace gluefl;
+using namespace gluefl::bench;
+
+int main() {
+  run_sensitivity(
+      "Error compensation: None / EC / REC", "Figure 11",
+      {
+          named_variant("fedavg"),
+          gluefl_variant("gluefl-none",
+                         [](GlueFlConfig& c) {
+                           c.error_comp = ErrorFeedback::Mode::kNone;
+                         }),
+          gluefl_variant("gluefl-ec",
+                         [](GlueFlConfig& c) {
+                           c.error_comp = ErrorFeedback::Mode::kRaw;
+                         }),
+          gluefl_variant("gluefl-rec",
+                         [](GlueFlConfig& c) {
+                           c.error_comp = ErrorFeedback::Mode::kRescaled;
+                         }),
+      });
+  return 0;
+}

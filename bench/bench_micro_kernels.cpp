@@ -1,0 +1,111 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels of the
+// simulator: top-k selection, bitmask algebra, sparse scatter, GEMM, and
+// the SyncTracker union that dominates staleness accounting.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "compress/bitmask.h"
+#include "compress/topk.h"
+#include "fl/sync_tracker.h"
+#include "tensor/ops.h"
+
+namespace gluefl {
+namespace {
+
+std::vector<float> random_vec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+void BM_TopKAbs(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = n / 5;  // q = 20%
+  const auto x = random_vec(n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(top_k_abs(x.data(), n, k));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_TopKAbs)->Arg(33000)->Arg(62000)->Arg(1 << 20);
+
+void BM_TopKAbsMasked(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = random_vec(n, 2);
+  BitMask allowed(n);
+  for (size_t i = 0; i < n; i += 2) allowed.set(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(top_k_abs_masked(x.data(), n, n / 10, allowed));
+  }
+}
+BENCHMARK(BM_TopKAbsMasked)->Arg(33000)->Arg(1 << 20);
+
+void BM_BitMaskUnion(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  BitMask a(n), b(n);
+  for (size_t i = 0; i < n; i += 3) a.set(i);
+  for (size_t i = 1; i < n; i += 3) b.set(i);
+  for (auto _ : state) {
+    BitMask c = a;
+    c |= b;
+    benchmark::DoNotOptimize(c.count());
+  }
+}
+BENCHMARK(BM_BitMaskUnion)->Arg(33000)->Arg(1 << 20);
+
+void BM_ScatterAdd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = random_vec(n, 3);
+  const SparseVec s = top_k_abs(x.data(), n, n / 5);
+  std::vector<float> out(n, 0.0f);
+  for (auto _ : state) {
+    scatter_add(s, 0.5f, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ScatterAdd)->Arg(33000)->Arg(1 << 20);
+
+void BM_GemmForward(benchmark::State& state) {
+  // The shape of one ShuffleNet-proxy hidden layer on a batch of 16.
+  const int bs = 16, in = 128, out = 128;
+  const auto a = random_vec(static_cast<size_t>(bs) * in, 4);
+  const auto b = random_vec(static_cast<size_t>(in) * out, 5);
+  std::vector<float> c(static_cast<size_t>(bs) * out);
+  for (auto _ : state) {
+    gemm_nn(a.data(), b.data(), c.data(), bs, in, out);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * bs *
+                          in * out);
+}
+BENCHMARK(BM_GemmForward);
+
+void BM_SyncTrackerUnion(benchmark::State& state) {
+  // A client stale by `range` rounds under q = 20% masking of a 33k-dim
+  // model: the per-invitee cost of the staleness accounting.
+  const size_t dim = 33000;
+  const int stale = static_cast<int>(state.range(0));
+  SyncTracker t(4, dim);
+  Rng rng(6);
+  for (int r = 0; r < stale; ++r) {
+    BitMask m(dim);
+    for (size_t i = 0; i < dim / 5; ++i) {
+      m.set(static_cast<size_t>(rng.uniform_int(0, static_cast<int>(dim) - 1)));
+    }
+    t.record_round_changes(r, m);
+  }
+  t.mark_synced(0, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.stale_positions(0, stale));
+  }
+}
+BENCHMARK(BM_SyncTrackerUnion)->Arg(10)->Arg(100)->Arg(500);
+
+}  // namespace
+}  // namespace gluefl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Shared driver for the sensitivity figures (Figs. 5-8, 10, 11): run a set
+// of GlueFL variants (plus reference strategies) on FEMNIST/ShuffleNet and
+// — in full mode — Google-Speech/ResNet-34, printing cost tables at the
+// common target accuracy and accuracy-vs-downstream series.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "strategies/gluefl.h"
+
+namespace gluefl::bench {
+
+struct Variant {
+  std::string label;
+  /// Builds a fresh strategy for one run; called once per workload.
+  std::function<std::unique_ptr<Strategy>(const Workload&)> make;
+};
+
+inline Variant gluefl_variant(
+    const std::string& label,
+    const std::function<void(GlueFlConfig&)>& tweak) {
+  return {label, [tweak](const Workload& w) {
+            GlueFlConfig cfg = calibrated_gluefl_config(w.k, w.model);
+            tweak(cfg);
+            return std::make_unique<GlueFlStrategy>(cfg);
+          }};
+}
+
+inline Variant named_variant(const std::string& name) {
+  return {name, [name](const Workload& w) {
+            return make_strategy(name, w.k, w.model);
+          }};
+}
+
+inline void run_sensitivity(const std::string& title,
+                            const std::string& paper_ref,
+                            const std::vector<Variant>& variants,
+                            int scaled_rounds = 60) {
+  print_header(title, paper_ref,
+               "GlueFL calibrated defaults elsewhere (S=4K, C=3K/5, "
+               "q_shr=0.4q, I=10, REC)");
+  std::vector<std::pair<std::string, std::string>> workloads = {
+      {"femnist", "shufflenet"}};
+  if (full_mode()) workloads.push_back({"speech", "resnet34"});
+
+  const int rounds = rounds_for(scaled_rounds);
+  for (const auto& [dataset, model] : workloads) {
+    const Workload w = make_workload(dataset, model);
+    SimEngine engine = make_engine(w, make_edge_env(), rounds);
+    std::vector<LabeledRun> runs;
+    for (const auto& v : variants) {
+      auto strategy = v.make(w);
+      runs.push_back({v.label, engine.run(*strategy)});
+    }
+    const double target = common_target_accuracy(runs, 0.01);
+    std::cout << "\n## " << dataset << " x " << model << "  (target "
+              << fmt_percent(target) << ", " << rounds << " rounds)\n";
+    std::cout << make_cost_table(runs, target).to_string();
+    std::cout << "\naccuracy vs cumulative downstream GB:\n"
+              << format_accuracy_series(runs, 5, 12);
+  }
+}
+
+}  // namespace gluefl::bench

@@ -1,0 +1,70 @@
+// Table 2: downstream volume (DV), total volume (TV), download time (DT)
+// and total training time (TT) to reach a common target accuracy, for
+// FedAvg / STC / APF / GlueFL across the five dataset x model
+// configurations of the paper's evaluation.
+//
+// Following §5.2, the target accuracy per configuration is the highest
+// accuracy reachable by ALL four strategies (minus a small margin), and
+// every strategy's costs are summed up to the round where its smoothed
+// test accuracy first reaches that target.
+//
+// Absolute GB/hours are proxy-scaled; the reproduction target is the
+// ordering: GlueFL uses the least DV and TT in every row, STC/APF save
+// upstream but not downstream relative to FedAvg.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace gluefl;
+
+namespace {
+
+struct Config {
+  const char* dataset;
+  const char* model;
+  int scaled_rounds;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "End-to-end cost to target accuracy", "Table 2",
+      "edge network, OC=1.3; strategies share sampling noise per config");
+
+  const std::vector<Config> configs = {
+      {"femnist", "shufflenet", 90},   {"femnist", "mobilenet", 90},
+      {"openimage", "shufflenet", 30}, {"openimage", "mobilenet", 30},
+      {"speech", "resnet34", 90},
+  };
+  const std::vector<std::string> strategies = {"fedavg", "stc", "apf",
+                                               "gluefl"};
+
+  for (const auto& cfg : configs) {
+    const int rounds = bench::rounds_for(cfg.scaled_rounds);
+    const bench::Workload w = bench::make_workload(cfg.dataset, cfg.model);
+    SimEngine engine = bench::make_engine(w, make_edge_env(), rounds);
+
+    std::vector<LabeledRun> runs;
+    for (const auto& name : strategies) {
+      auto strategy = make_strategy(name, w.k, cfg.model);
+      runs.push_back({name, engine.run(*strategy)});
+    }
+
+    const double target = common_target_accuracy(runs, /*margin=*/0.01);
+    std::cout << "\n## " << cfg.dataset << " x " << cfg.model
+              << "   (N=" << w.spec.num_clients << ", K=" << w.k
+              << ", top-" << w.topk << " target " << fmt_percent(target)
+              << ", " << rounds << " rounds max)\n";
+    std::cout << make_cost_table(runs, target).to_string();
+  }
+
+  std::cout << "\nPaper shape: GlueFL has the lowest DV and TT in every row;\n"
+               "STC/APF reduce TV (upstream) but not DV versus FedAvg.\n"
+               "On this synthetic substrate the ordering is clean at K=100\n"
+               "(OpenImage); at K=30 GlueFL is TV-best while its DV ties\n"
+               "FedAvg within the scaled horizon — see EXPERIMENTS.md\n"
+               "(Fidelity limits) for the variance analysis.\n";
+  return 0;
+}

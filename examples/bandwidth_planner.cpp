@@ -1,0 +1,97 @@
+// Bandwidth planner: choose sticky-sampling parameters (S, C) and the
+// shared-mask ratio analytically, before running anything.
+//
+// Given a deployment (N clients, K per round) the planner sweeps candidate
+// (S, C) pairs and scores each by
+//   * the sticky-advantage horizon r* (how many rounds a sticky client
+//     stays more likely to be re-sampled than under uniform sampling —
+//     Proposition 2 / Appendix A.3),
+//   * the short-term re-inclusion probability mass sum_{r<=H} P(r), which
+//     drives how fresh participants are (and hence downstream savings),
+//   * Theorem 2's variance amplification A — the statistical price.
+//
+// Usage: ./bandwidth_planner [N] [K]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "analysis/convergence.h"
+#include "common/table.h"
+#include "sampling/propositions.h"
+
+using namespace gluefl;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 2800;
+  const int k = argc > 2 ? std::atoi(argv[2]) : 30;
+  const int horizon = 10;  // "fresh enough" window in rounds
+
+  std::cout << "Sticky-sampling planner for N=" << n << ", K=" << k << "\n"
+            << "uniform baseline: P(re-sampled next round) = "
+            << fmt_percent(uniform_resample_prob(n, k, 1))
+            << ", expected gap " << fmt_double(uniform_expected_gap(n, k), 1)
+            << " rounds\n\n";
+
+  TablePrinter t;
+  t.set_headers({"S", "C", "P(r=1)", "sum P(r<=10)", "advantage r*",
+                 "variance A", "note"});
+
+  struct Cand {
+    int s, c;
+    double p1, mass, a;
+    int rstar;
+  };
+  std::vector<Cand> cands;
+  for (int s_mult : {2, 3, 4, 6, 8}) {
+    const int s = s_mult * k;
+    if (s >= n) continue;
+    for (int c_frac_num : {3, 4}) {  // C = 3K/5, 4K/5
+      const int c = c_frac_num * k / 5;
+      if (c <= 0 || c >= k || c > s) continue;
+      Cand cd;
+      cd.s = s;
+      cd.c = c;
+      cd.p1 = sticky_resample_prob(n, k, s, c, 1);
+      cd.mass = 0.0;
+      for (int r = 1; r <= horizon; ++r) {
+        cd.mass += sticky_resample_prob(n, k, s, c, r);
+      }
+      cd.rstar = sticky_advantage_horizon(n, k, s, c);
+      cd.a = theorem2_variance_term_uniform(n, k, s, c);
+      cands.push_back(cd);
+    }
+  }
+
+  // Recommend: highest 10-round mass subject to a variance budget A <= 6.
+  const Cand* best = nullptr;
+  for (const auto& cd : cands) {
+    if (cd.a > 6.0) continue;
+    if (best == nullptr || cd.mass > best->mass) best = &cd;
+  }
+  for (const auto& cd : cands) {
+    const bool is_paper = cd.s == 4 * k && cd.c == 4 * k / 5;
+    std::string note;
+    if (&cd == best) note += "<- recommended";
+    if (is_paper) note += note.empty() ? "(paper default)" : " (paper default)";
+    t.add_row({std::to_string(cd.s), std::to_string(cd.c),
+               fmt_percent(cd.p1), fmt_percent(cd.mass),
+               std::to_string(cd.rstar), fmt_double(cd.a, 2), note});
+  }
+  std::cout << t.to_string();
+
+  if (best != nullptr) {
+    std::cout << "\nrecommended: S=" << best->s << ", C=" << best->c
+              << "  -> a sticky client participates within " << horizon
+              << " rounds with probability " << fmt_percent(best->mass)
+              << " (uniform: "
+              << fmt_percent(1.0 - std::pow(1.0 - static_cast<double>(k) / n,
+                                            horizon))
+              << ")\n";
+    std::cout << "suggested Theorem-2 learning rate for T=1000 rounds, E=10: "
+              << fmt_double(theorem2_learning_rate(k, 10, 1.0, 1000, best->a),
+                            4)
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Cross-device comparison on a realistic workload: FedAvg vs STC vs APF vs
+// GlueFL on the FEMNIST substitute over an edge network — a miniature
+// version of the paper's Table 2 runnable in about a minute.
+//
+// Usage: ./compare_strategies [rounds] [dataset] [model]
+//   dataset in {femnist, openimage, speech}; model in
+//   {shufflenet, mobilenet, resnet34}.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "common/table.h"
+#include "data/presets.h"
+#include "fl/engine.h"
+#include "net/environment.h"
+#include "nn/proxies.h"
+#include "strategies/factory.h"
+
+using namespace gluefl;
+
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 60;
+  const std::string dataset = argc > 2 ? argv[2] : "femnist";
+  const std::string model = argc > 3 ? argv[3] : "shufflenet";
+
+  SyntheticSpec spec;
+  if (dataset == "femnist") {
+    spec = femnist_spec(0.25);
+  } else if (dataset == "openimage") {
+    spec = openimage_spec(0.25);
+  } else {
+    spec = speech_spec(0.25);
+  }
+  const int k = preset_clients_per_round(spec);
+
+  TrainConfig train;
+  train.lr0 = 0.05;
+  RunConfig run;
+  run.rounds = rounds;
+  run.clients_per_round = k;
+  run.topk_accuracy = preset_topk(spec);
+  run.seed = 3;
+
+  SimEngine engine(make_synthetic_dataset(spec),
+                   make_proxy(model, spec.feature_dim, spec.num_classes),
+                   make_edge_env(), train, run);
+
+  std::cout << "comparing strategies on " << dataset << " x " << model
+            << "  (N=" << spec.num_clients << ", K=" << k << ", " << rounds
+            << " rounds, edge network)\n\n";
+
+  std::vector<LabeledRun> runs;
+  for (const char* name : {"fedavg", "stc", "apf", "gluefl"}) {
+    auto strategy = make_strategy(name, k, model);
+    runs.push_back({name, engine.run(*strategy)});
+    const auto totals = runs.back().result.totals();
+    std::cout << "  " << name << ": best-acc "
+              << fmt_percent(runs.back().result.best_accuracy()) << ", DV "
+              << fmt_double(totals.down_gb, 2) << " GB, TT "
+              << fmt_double(totals.wall_hours, 2) << " h\n";
+  }
+
+  const double target = common_target_accuracy(runs, 0.01);
+  std::cout << "\ncosts to reach the common target accuracy ("
+            << fmt_percent(target) << "):\n"
+            << make_cost_table(runs, target).to_string();
+
+  std::cout << "\naccuracy vs cumulative downstream bandwidth:\n"
+            << format_accuracy_series(runs, 5, 10);
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "analysis/convergence.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gluefl {
+
+double theorem2_variance_term(int n, int k, int s, int c,
+                              const std::vector<double>& p) {
+  GLUEFL_CHECK(n > 0 && k > 0 && k <= n);
+  GLUEFL_CHECK(static_cast<int>(p.size()) == n);
+  GLUEFL_CHECK(c >= 0 && c <= k);
+  GLUEFL_CHECK(s >= 0 && s <= n);
+  double sum_p2 = 0.0;
+  for (double pi : p) sum_p2 += pi * pi;
+  double group_term = 0.0;
+  if (s > 0) {
+    GLUEFL_CHECK_MSG(c > 0, "need C > 0 when the sticky group is non-empty");
+    group_term += static_cast<double>(s) * s / c;
+  }
+  if (s < n) {
+    GLUEFL_CHECK_MSG(k > c, "need K > C when the non-sticky group is used");
+    group_term += static_cast<double>(n - s) * (n - s) / (k - c);
+  }
+  return static_cast<double>(k) / n * group_term * sum_p2;
+}
+
+double theorem2_variance_term_uniform(int n, int k, int s, int c) {
+  const std::vector<double> p(static_cast<size_t>(n), 1.0 / n);
+  return theorem2_variance_term(n, k, s, c, p);
+}
+
+double theorem2_learning_rate(int k, int local_steps, double sigma_sq,
+                              int rounds, double variance_term) {
+  GLUEFL_CHECK(k > 0 && local_steps > 0 && rounds > 0);
+  GLUEFL_CHECK(sigma_sq >= 0.0 && variance_term > 0.0);
+  const double e = local_steps;
+  return std::sqrt(1.0 / (e * (sigma_sq + e)) *
+                   static_cast<double>(k) / (rounds * variance_term));
+}
+
+}  // namespace gluefl

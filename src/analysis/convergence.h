@@ -1,0 +1,27 @@
+// Theorem 2 helpers: the sticky-sampling variance amplification term A and
+// the learning rate it prescribes.
+//
+//   A = (K/N) * ( S^2/C + (N-S)^2/(K-C) ) * sum_i p_i^2
+//
+// With uniform weights (p_i = 1/N) and no sticky group, A = 1 and the
+// bound reduces to FedAvg's O(sqrt(1/KT)). Exposing A lets users quantify
+// the statistical price of a candidate (S, C) before running anything —
+// the bandwidth-planner example combines it with Proposition 2.
+#pragma once
+
+#include <vector>
+
+namespace gluefl {
+
+/// Variance amplification A of Theorem 2.
+double theorem2_variance_term(int n, int k, int s, int c,
+                              const std::vector<double>& p);
+
+/// A for uniform client weights p_i = 1/N.
+double theorem2_variance_term_uniform(int n, int k, int s, int c);
+
+/// Learning rate from Eq. (8): sqrt( K / (E (sigma^2 + E) T A) ).
+double theorem2_learning_rate(int k, int local_steps, double sigma_sq,
+                              int rounds, double variance_term);
+
+}  // namespace gluefl

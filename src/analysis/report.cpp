@@ -1,0 +1,76 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace gluefl {
+
+double common_target_accuracy(const std::vector<LabeledRun>& runs,
+                              double margin, int window) {
+  GLUEFL_CHECK(!runs.empty());
+  double target = 1.0;
+  for (const auto& r : runs) {
+    const auto acc = r.result.smoothed_accuracy(window);
+    double best = 0.0;
+    for (double a : acc) {
+      if (!std::isnan(a)) best = std::max(best, a);
+    }
+    target = std::min(target, best);
+  }
+  return std::max(0.0, target - margin);
+}
+
+TablePrinter make_cost_table(const std::vector<LabeledRun>& runs,
+                             double target_acc, int window) {
+  TablePrinter t;
+  t.set_headers({"Strategy", "DV (GB)", "TV (GB)", "DT (h)", "TT (h)",
+                 "Rounds", "Reached"});
+  for (const auto& r : runs) {
+    const RunTotals tot = r.result.totals_to_accuracy(target_acc, window);
+    t.add_row({r.label, fmt_double(tot.down_gb, 3), fmt_double(tot.total_gb, 3),
+               fmt_double(tot.download_hours, 2),
+               fmt_double(tot.wall_hours, 2), std::to_string(tot.rounds),
+               tot.reached_target ? "yes" : "no"});
+  }
+  return t;
+}
+
+std::string format_accuracy_series(const std::vector<LabeledRun>& runs,
+                                   int window, int max_points) {
+  std::ostringstream os;
+  for (const auto& r : runs) {
+    os << "# " << r.label << "  (cumulative downstream GB, accuracy %)\n";
+    const auto series = r.result.accuracy_vs_downstream(window);
+    const size_t stride =
+        std::max<size_t>(1, series.size() / static_cast<size_t>(max_points));
+    for (size_t i = 0; i < series.size(); i += stride) {
+      os << "  " << fmt_double(series[i].first, 3) << "  "
+         << fmt_double(series[i].second * 100.0, 2) << "\n";
+    }
+    if (!series.empty() && (series.size() - 1) % stride != 0) {
+      os << "  " << fmt_double(series.back().first, 3) << "  "
+         << fmt_double(series.back().second * 100.0, 2) << "\n";
+    }
+  }
+  return os.str();
+}
+
+TimeBreakdown mean_time_breakdown(const RunResult& run) {
+  TimeBreakdown b;
+  if (run.rounds.empty()) return b;
+  for (const auto& r : run.rounds) {
+    b.download_s += r.down_time_s;
+    b.upload_s += r.up_time_s;
+    b.compute_s += r.compute_time_s;
+  }
+  const double n = static_cast<double>(run.rounds.size());
+  b.download_s /= n;
+  b.upload_s /= n;
+  b.compute_s /= n;
+  return b;
+}
+
+}  // namespace gluefl

@@ -1,0 +1,45 @@
+// Paper-style reporting helpers shared by the benches and examples:
+// Table-2-style rows (DV/TV/DT/TT at a target accuracy) and
+// accuracy-vs-downstream series (Figs. 5-8, 10, 11).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "fl/metrics.h"
+
+namespace gluefl {
+
+/// One experiment arm: a finished run plus its label.
+struct LabeledRun {
+  std::string label;
+  RunResult result;
+};
+
+/// Highest target accuracy reachable by ALL runs (the paper sets the
+/// target to "the highest achievable accuracy by all approaches"),
+/// discounted by `margin` for robustness.
+double common_target_accuracy(const std::vector<LabeledRun>& runs,
+                              double margin = 0.0, int window = 5);
+
+/// Table-2-style table: one row per run with DV (TV) and DT (TT) at the
+/// target accuracy.
+TablePrinter make_cost_table(const std::vector<LabeledRun>& runs,
+                             double target_acc, int window = 5);
+
+/// Prints "cum-down-GB  accuracy" series, one block per run, for
+/// re-plotting a sensitivity figure.
+std::string format_accuracy_series(const std::vector<LabeledRun>& runs,
+                                   int window = 5, int max_points = 24);
+
+/// Per-round average time split (download / upload / compute seconds),
+/// for Fig. 9.
+struct TimeBreakdown {
+  double download_s = 0.0;
+  double upload_s = 0.0;
+  double compute_s = 0.0;
+};
+TimeBreakdown mean_time_breakdown(const RunResult& run);
+
+}  // namespace gluefl

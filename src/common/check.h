@@ -1,0 +1,44 @@
+// Always-on invariant checking for the GlueFL library.
+//
+// The library is a research simulator: correctness of the bandwidth and
+// convergence accounting matters far more than the cycles spent on checks,
+// so GLUEFL_CHECK is active in all build types.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gluefl {
+
+/// Thrown when a library invariant or API precondition is violated.
+class CheckError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "GLUEFL_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace gluefl
+
+/// Checks `expr`; throws gluefl::CheckError if false.
+#define GLUEFL_CHECK(expr)                                                  \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::gluefl::detail::check_failed(#expr, __FILE__, __LINE__, "");        \
+  } while (false)
+
+/// Checks `expr` with an explanatory message.
+#define GLUEFL_CHECK_MSG(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::gluefl::detail::check_failed(#expr, __FILE__, __LINE__, (msg));     \
+  } while (false)

@@ -1,0 +1,85 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gluefl {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double stdev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+double percentile(std::vector<double> v, double p) {
+  GLUEFL_CHECK(!v.empty());
+  GLUEFL_CHECK(p >= 0.0 && p <= 1.0);
+  std::sort(v.begin(), v.end());
+  const double pos = p * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double ecdf(const std::vector<double>& v, double x) {
+  if (v.empty()) return 0.0;
+  size_t count = 0;
+  for (double e : v) {
+    if (e <= x) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(v.size());
+}
+
+std::vector<std::pair<double, double>> cdf_series(const std::vector<double>& v,
+                                                  int points, bool log_space) {
+  GLUEFL_CHECK(points >= 2);
+  GLUEFL_CHECK(!v.empty());
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  const double lo = sorted.front();
+  const double hi = sorted.back();
+  std::vector<std::pair<double, double>> out;
+  out.reserve(static_cast<size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+    double x;
+    if (log_space) {
+      GLUEFL_CHECK_MSG(lo > 0.0, "log-spaced CDF requires positive values");
+      x = std::exp(std::log(lo) + t * (std::log(hi) - std::log(lo)));
+    } else {
+      x = lo + t * (hi - lo);
+    }
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+    const double frac = static_cast<double>(it - sorted.begin()) /
+                        static_cast<double>(sorted.size());
+    out.emplace_back(x, frac);
+  }
+  return out;
+}
+
+std::vector<double> moving_average(const std::vector<double>& v, int window) {
+  GLUEFL_CHECK(window >= 1);
+  std::vector<double> out(v.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    acc += v[i];
+    if (i >= static_cast<size_t>(window)) acc -= v[i - static_cast<size_t>(window)];
+    const size_t n = std::min(i + 1, static_cast<size_t>(window));
+    out[i] = acc / static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace gluefl

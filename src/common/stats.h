@@ -1,0 +1,32 @@
+// Small statistics helpers used by the analysis module and benches.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace gluefl {
+
+/// Arithmetic mean; 0 for an empty input.
+double mean(const std::vector<double>& v);
+
+/// Sample standard deviation (n-1 denominator); 0 when size < 2.
+double stdev(const std::vector<double>& v);
+
+/// p-th percentile (p in [0,1]) with linear interpolation.
+/// The input does not need to be sorted.
+double percentile(std::vector<double> v, double p);
+
+/// Empirical CDF evaluated at `x`: fraction of entries <= x.
+double ecdf(const std::vector<double>& v, double x);
+
+/// Returns `points` (x, cdf(x)) pairs spanning the sample range, suitable
+/// for plotting. Points are log-spaced when `log_space` is set (all values
+/// must then be positive).
+std::vector<std::pair<double, double>> cdf_series(const std::vector<double>& v,
+                                                  int points, bool log_space);
+
+/// Trailing moving average with the given window (window >= 1).
+std::vector<double> moving_average(const std::vector<double>& v, int window);
+
+}  // namespace gluefl

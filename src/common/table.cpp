@@ -1,0 +1,110 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace gluefl {
+
+void TablePrinter::set_headers(std::vector<std::string> headers) {
+  headers_ = std::move(headers);
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  if (!headers_.empty()) {
+    GLUEFL_CHECK_MSG(row.size() == headers_.size(),
+                     "row width must match header width");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::to_string() const {
+  std::vector<size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  if (!headers_.empty()) grow(headers_);
+  for (const auto& r : rows_) grow(r);
+
+  std::ostringstream os;
+  auto emit = [&os, &widths](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      if (i + 1 < row.size()) {
+        os << std::string(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  if (!headers_.empty()) {
+    emit(headers_);
+    size_t total = 0;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+    }
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string TablePrinter::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&os](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      if (i + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  if (!headers_.empty()) emit(headers_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_bytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", bytes, units[u]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, units[u]);
+  }
+  return buf;
+}
+
+std::string fmt_seconds(double seconds) {
+  char buf[64];
+  if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+  } else if (seconds < 7200.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f h", seconds / 3600.0);
+  }
+  return buf;
+}
+
+std::string fmt_percent(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace gluefl

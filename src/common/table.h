@@ -1,0 +1,43 @@
+// ASCII table / CSV formatting used by benches and examples to print
+// paper-style result tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gluefl {
+
+/// Column-aligned plain-text table builder.
+///
+///   TablePrinter t;
+///   t.set_headers({"Strategy", "DV (MB)", "TT (h)"});
+///   t.add_row({"GlueFL", fmt_double(12.3, 1), fmt_double(0.8, 2)});
+///   std::cout << t.to_string();
+class TablePrinter {
+ public:
+  void set_headers(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> row);
+  /// Renders the table; every row is padded to the widest cell per column.
+  std::string to_string() const;
+  /// Renders the same data as CSV (no alignment padding).
+  std::string to_csv() const;
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("12.34").
+std::string fmt_double(double v, int precision);
+
+/// Human bytes: "512 B", "3.4 KB", "12.1 MB", "1.02 GB".
+std::string fmt_bytes(double bytes);
+
+/// Human duration: "45.0 s", "12.3 min", "1.24 h".
+std::string fmt_seconds(double seconds);
+
+/// Percentage with one decimal: "27.5%".
+std::string fmt_percent(double fraction);
+
+}  // namespace gluefl

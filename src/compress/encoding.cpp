@@ -1,0 +1,32 @@
+#include "compress/encoding.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gluefl {
+
+size_t position_bytes(size_t nnz, size_t dim, PositionEncoding enc) {
+  GLUEFL_CHECK(nnz <= dim);
+  const size_t bitmap = (dim + 7) / 8;
+  const size_t indices = nnz * 4;
+  switch (enc) {
+    case PositionEncoding::kBitmap:
+      return bitmap;
+    case PositionEncoding::kIndices32:
+      return indices;
+    case PositionEncoding::kAuto:
+      return std::min(bitmap, indices);
+  }
+  return bitmap;
+}
+
+size_t sparse_update_bytes(size_t nnz, size_t dim, PositionEncoding enc) {
+  return nnz * kBytesPerValue + position_bytes(nnz, dim, enc);
+}
+
+size_t values_only_bytes(size_t nnz) { return nnz * kBytesPerValue; }
+
+size_t dense_bytes(size_t dim) { return dim * kBytesPerValue; }
+
+}  // namespace gluefl

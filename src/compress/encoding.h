@@ -1,0 +1,33 @@
+// Wire-size accounting for sparse / dense model payloads.
+//
+// All bandwidth numbers reported by the simulator come from these
+// functions. Positions of a sparse payload can be encoded either as a
+// d-bit bitmap or as 4-byte indices; `kAuto` picks the smaller of the two
+// (the crossover is at nnz = d/32), which is what an efficient
+// implementation would do and what the paper's byte counts assume.
+#pragma once
+
+#include <cstddef>
+
+namespace gluefl {
+
+enum class PositionEncoding { kBitmap, kIndices32, kAuto };
+
+inline constexpr size_t kBytesPerValue = 4;  // fp32 payloads
+
+/// Bytes to encode which positions a sparse payload carries.
+size_t position_bytes(size_t nnz, size_t dim,
+                      PositionEncoding enc = PositionEncoding::kAuto);
+
+/// Bytes for a sparse update: values + position encoding.
+size_t sparse_update_bytes(size_t nnz, size_t dim,
+                           PositionEncoding enc = PositionEncoding::kAuto);
+
+/// Bytes for values whose positions the receiver already knows (e.g. the
+/// GlueFL shared-mask component: the mask was shipped separately).
+size_t values_only_bytes(size_t nnz);
+
+/// Bytes for a dense vector of `dim` fp32 values.
+size_t dense_bytes(size_t dim);
+
+}  // namespace gluefl

@@ -1,0 +1,31 @@
+#include "compress/error_feedback.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace gluefl {
+
+ErrorFeedback::ErrorFeedback(Mode mode, size_t dim) : mode_(mode), dim_(dim) {
+  GLUEFL_CHECK(dim > 0);
+}
+
+void ErrorFeedback::apply(int client, double nu_now, float* delta) const {
+  if (mode_ == Mode::kNone) return;
+  const auto it = store_.find(client);
+  if (it == store_.end()) return;
+  double coef = 1.0;
+  if (mode_ == Mode::kRescaled) {
+    GLUEFL_CHECK_MSG(nu_now > 0.0, "aggregation weight must be positive");
+    coef = it->second.nu / nu_now;
+  }
+  axpy(static_cast<float>(coef), it->second.h.data(), delta, dim_);
+}
+
+void ErrorFeedback::store(int client, double nu_now, const float* residual) {
+  if (mode_ == Mode::kNone) return;
+  Entry& e = store_[client];
+  e.h.assign(residual, residual + dim_);
+  e.nu = nu_now;
+}
+
+}  // namespace gluefl

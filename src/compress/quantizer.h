@@ -1,0 +1,38 @@
+// Uniform stochastic quantization (extension).
+//
+// The paper's footnote 1 notes STC also quantizes, an orthogonal technique
+// compressing both directions. We provide it as an optional codec so users
+// can stack quantization on top of any strategy's sparse payloads; the
+// ablation bench bench_ablation_quantization measures the stacking effect.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gluefl {
+
+class UniformQuantizer {
+ public:
+  /// bits in [1, 16]: each value is mapped onto 2^bits levels spanning
+  /// [-max|x|, +max|x|] with stochastic rounding (unbiased).
+  explicit UniformQuantizer(int bits);
+
+  int bits() const { return bits_; }
+
+  /// Quantizes x in place (dequantized values are written back, so the
+  /// caller observes exactly what the receiver would decode). Returns the
+  /// scale that was used.
+  float quantize(float* x, size_t n, Rng& rng) const;
+
+  /// Wire bytes for n quantized values (levels are bit-packed) plus the
+  /// fp32 scale.
+  size_t payload_bytes(size_t n) const;
+
+ private:
+  int bits_;
+};
+
+}  // namespace gluefl

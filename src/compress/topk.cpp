@@ -1,0 +1,84 @@
+#include "compress/topk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gluefl {
+
+namespace {
+
+// Orders candidate indices by (|x| desc, index asc).
+struct MagnitudeGreater {
+  const float* x;
+  bool operator()(uint32_t a, uint32_t b) const {
+    const float ma = std::fabs(x[a]);
+    const float mb = std::fabs(x[b]);
+    if (ma != mb) return ma > mb;
+    return a < b;
+  }
+};
+
+SparseVec select_from(std::vector<uint32_t> cand, const float* x, size_t k) {
+  SparseVec out;
+  if (k == 0 || cand.empty()) return out;
+  k = std::min(k, cand.size());
+  MagnitudeGreater cmp{x};
+  std::nth_element(cand.begin(), cand.begin() + static_cast<long>(k) - 1,
+                   cand.end(), cmp);
+  cand.resize(k);
+  std::sort(cand.begin(), cand.end());
+  out.idx = std::move(cand);
+  out.val.resize(k);
+  for (size_t i = 0; i < k; ++i) out.val[i] = x[out.idx[i]];
+  return out;
+}
+
+}  // namespace
+
+SparseVec top_k_abs(const float* x, size_t n, size_t k) {
+  std::vector<uint32_t> cand(n);
+  for (size_t i = 0; i < n; ++i) cand[i] = static_cast<uint32_t>(i);
+  return select_from(std::move(cand), x, k);
+}
+
+SparseVec top_k_abs_masked(const float* x, size_t n, size_t k,
+                           const BitMask& allowed) {
+  GLUEFL_CHECK(allowed.size() == n);
+  std::vector<uint32_t> cand;
+  cand.reserve(allowed.count());
+  allowed.for_each_set(
+      [&cand](size_t i) { cand.push_back(static_cast<uint32_t>(i)); });
+  return select_from(std::move(cand), x, k);
+}
+
+SparseVec gather(const float* x, const BitMask& mask) {
+  SparseVec out;
+  out.idx.reserve(mask.count());
+  mask.for_each_set(
+      [&out](size_t i) { out.idx.push_back(static_cast<uint32_t>(i)); });
+  out.val.resize(out.idx.size());
+  for (size_t i = 0; i < out.idx.size(); ++i) out.val[i] = x[out.idx[i]];
+  return out;
+}
+
+void scatter_add(const SparseVec& s, float scale, float* out) {
+  for (size_t i = 0; i < s.idx.size(); ++i) {
+    out[s.idx[i]] += scale * s.val[i];
+  }
+}
+
+void keep_only(const SparseVec& s, float* x, size_t n) {
+  // Walk the (sorted) kept indices, zeroing the gaps.
+  size_t next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (next < s.idx.size() && s.idx[next] == i) {
+      ++next;
+    } else {
+      x[i] = 0.0f;
+    }
+  }
+}
+
+}  // namespace gluefl

@@ -1,0 +1,80 @@
+#include "data/presets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gluefl {
+
+namespace {
+int scaled(int n, double scale, int min_value) {
+  return std::max(min_value, static_cast<int>(std::lround(n * scale)));
+}
+}  // namespace
+
+SyntheticSpec femnist_spec(double scale, uint64_t seed) {
+  SyntheticSpec s;
+  s.name = "femnist";
+  s.num_clients = scaled(2800, scale, 40);
+  s.num_classes = 62;
+  s.feature_dim = 64;
+  s.dirichlet_alpha = 1.0;
+  s.class_sep = 2.8;
+  s.proto_sparsity = 0.2;
+  s.feature_decay = 0.7;
+  s.noise_sd = 1.0;
+  s.size_mu_log = 4.8;
+  s.max_samples = 500;
+  s.test_samples = scaled(1984, scale, 496);  // multiple of 62 keeps balance
+  s.seed = seed;
+  return s;
+}
+
+SyntheticSpec openimage_spec(double scale, uint64_t seed) {
+  SyntheticSpec s;
+  s.name = "openimage";
+  s.num_clients = scaled(10625, scale, 150);
+  s.num_classes = 64;
+  s.feature_dim = 64;
+  s.dirichlet_alpha = 0.6;  // OpenImage is the most heterogeneous task
+  s.class_sep = 2.4;
+  s.proto_sparsity = 0.2;
+  s.feature_decay = 0.7;
+  s.noise_sd = 1.0;
+  s.size_mu_log = 4.2;
+  s.max_samples = 400;
+  s.test_samples = scaled(2048, scale, 512);
+  s.seed = seed;
+  return s;
+}
+
+SyntheticSpec speech_spec(double scale, uint64_t seed) {
+  SyntheticSpec s;
+  s.name = "speech";
+  s.num_clients = scaled(2066, scale, 40);
+  s.num_classes = 35;
+  s.feature_dim = 64;
+  s.dirichlet_alpha = 1.0;
+  s.class_sep = 2.7;
+  s.proto_sparsity = 0.2;
+  s.feature_decay = 0.7;
+  s.size_mu_log = 4.8;
+  s.max_samples = 500;
+  s.noise_sd = 1.0;
+  s.test_samples = scaled(1960, scale, 490);
+  s.seed = seed;
+  return s;
+}
+
+int preset_clients_per_round(const SyntheticSpec& spec) {
+  if (spec.name == "openimage") return 100;
+  return 30;
+}
+
+int preset_topk(const SyntheticSpec& spec) {
+  if (spec.name == "openimage") return 5;
+  return 1;
+}
+
+}  // namespace gluefl

@@ -1,0 +1,27 @@
+// The three federated tasks of the paper's evaluation, as synthetic
+// substitutes (see DESIGN.md §2). Client counts, class counts and sampled
+// clients per round (K) follow §5.1 of the paper:
+//
+//   FEMNIST       N = 2800,  62 classes, K = 30
+//   OpenImage     N = 10625, 64 classes (reduced from 596), K = 100
+//   Google Speech N = 2066,  35 classes, K = 30
+//
+// `scale` < 1 shrinks the client population and test set proportionally for
+// fast tests; benches use scale = 1 by default.
+#pragma once
+
+#include "data/federated_dataset.h"
+
+namespace gluefl {
+
+SyntheticSpec femnist_spec(double scale = 1.0, uint64_t seed = 11);
+SyntheticSpec openimage_spec(double scale = 1.0, uint64_t seed = 12);
+SyntheticSpec speech_spec(double scale = 1.0, uint64_t seed = 13);
+
+/// Paper's K (sampled clients per round) for each preset.
+int preset_clients_per_round(const SyntheticSpec& spec);
+
+/// Paper's accuracy metric: top-5 for OpenImage, top-1 otherwise.
+int preset_topk(const SyntheticSpec& spec);
+
+}  // namespace gluefl

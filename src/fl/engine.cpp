@@ -1,0 +1,310 @@
+#include "fl/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/check.h"
+#include "net/bandwidth.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace gluefl {
+
+namespace {
+// Training cost relative to inference: forward + backward ~ 3x forward.
+constexpr double kTrainFlopFactor = 3.0;
+
+// Stream ids for forked RNGs; keep them disjoint per purpose.
+constexpr uint64_t kStreamProfiles = 0x01;
+constexpr uint64_t kStreamAvailability = 0x02;
+constexpr uint64_t kStreamInit = 0x03;
+constexpr uint64_t kStreamRoundBase = 0x1000;
+}  // namespace
+
+struct SimEngine::Worker {
+  FlatModel model;
+  std::vector<float> params;
+  std::vector<float> stats;
+  std::vector<float> grads;
+  std::vector<float> xbuf;
+  std::vector<int> ybuf;
+  std::vector<int> order;
+
+  explicit Worker(const FlatModel& proto) : model(proto.clone()) {}
+};
+
+SimEngine::~SimEngine() = default;
+
+std::vector<int> Participation::all() const {
+  std::vector<int> out = sticky;
+  out.insert(out.end(), nonsticky.begin(), nonsticky.end());
+  return out;
+}
+
+SimEngine::SimEngine(FederatedDataset dataset, ModelProxy proxy,
+                     NetworkEnv env, TrainConfig train_cfg, RunConfig run_cfg)
+    : dataset_(std::move(dataset)),
+      proxy_(std::move(proxy)),
+      env_(std::move(env)),
+      train_cfg_(train_cfg),
+      run_cfg_(run_cfg),
+      master_rng_(run_cfg.seed) {
+  GLUEFL_CHECK(run_cfg_.rounds > 0);
+  GLUEFL_CHECK(run_cfg_.clients_per_round > 0 &&
+               run_cfg_.clients_per_round <= dataset_.num_clients());
+  GLUEFL_CHECK(run_cfg_.overcommit >= 1.0);
+  GLUEFL_CHECK(proxy_.model.input_dim() == dataset_.spec.feature_dim);
+  GLUEFL_CHECK(proxy_.model.num_classes() == dataset_.spec.num_classes);
+
+  dim_ = proxy_.model.param_dim();
+  stat_dim_ = proxy_.model.stat_dim();
+  wire_scale_ = proxy_.real_params > 0.0
+                    ? proxy_.real_params / static_cast<double>(dim_)
+                    : 1.0;
+
+  Rng prof_rng = master_rng_.fork(kStreamProfiles);
+  profiles_ = make_profiles(dataset_.num_clients(), env_, prof_rng);
+
+  if (run_cfg_.use_availability && env_.availability < 1.0) {
+    Rng avail_rng = master_rng_.fork(kStreamAvailability);
+    availability_ = std::make_unique<AvailabilityTrace>(
+        dataset_.num_clients(), run_cfg_.rounds, env_, avail_rng);
+  }
+
+  num_threads_ = run_cfg_.num_threads > 0
+                     ? run_cfg_.num_threads
+                     : std::max(1u, std::thread::hardware_concurrency());
+  num_threads_ = std::min(num_threads_, 32);
+  workers_.reserve(static_cast<size_t>(num_threads_));
+  for (int t = 0; t < num_threads_; ++t) {
+    workers_.push_back(std::make_unique<Worker>(proxy_.model));
+  }
+
+  reset_state();
+}
+
+void SimEngine::reset_state() {
+  Rng init_rng = master_rng_.fork(kStreamInit);
+  params_ = proxy_.model.make_params(init_rng);
+  stats_ = proxy_.model.make_stats();
+  sync_ = std::make_unique<SyncTracker>(dataset_.num_clients(), dim_);
+}
+
+double SimEngine::client_weight(int client) const {
+  GLUEFL_CHECK(client >= 0 && client < dataset_.num_clients());
+  return dataset_.p[static_cast<size_t>(client)];
+}
+
+size_t SimEngine::stat_bytes() const { return dense_bytes(stat_dim_); }
+
+Rng SimEngine::round_rng(int round, uint64_t purpose) const {
+  return master_rng_.fork(kStreamRoundBase +
+                          static_cast<uint64_t>(round) * 64 + purpose);
+}
+
+bool SimEngine::client_available(int client, int round) const {
+  if (!availability_) return true;
+  return availability_->available(client, round);
+}
+
+AvailabilityFn SimEngine::availability_fn(int round) {
+  if (!availability_) return AvailabilityFn{};
+  return [this, round](int client) { return client_available(client, round); };
+}
+
+double SimEngine::lr_at(int round) const {
+  const int decays = round / std::max(1, train_cfg_.lr_decay_every);
+  return train_cfg_.lr0 * std::pow(train_cfg_.lr_decay, decays);
+}
+
+double SimEngine::flops_per_client_round() const {
+  return proxy_.flops_per_sample * kTrainFlopFactor *
+         static_cast<double>(train_cfg_.batch_size) *
+         static_cast<double>(train_cfg_.local_steps);
+}
+
+Participation SimEngine::simulate_participation(
+    int round, const CandidateSet& cand,
+    const std::function<size_t(int)>& down_bytes_fn,
+    const std::function<size_t(int)>& up_bytes_fn, RoundRecord& rec) {
+  struct Timed {
+    int id = 0;
+    double dt = 0.0, ct = 0.0, ut = 0.0, finish = 0.0;
+    size_t down_b = 0;
+  };
+  const double flops = flops_per_client_round();
+  auto time_client = [&](int id) {
+    Timed t;
+    t.id = id;
+    t.down_b = down_bytes_fn(id);
+    const ClientProfile& p = profiles_[static_cast<size_t>(id)];
+    t.dt = transfer_seconds(static_cast<double>(t.down_b) * wire_scale_,
+                            p.down_mbps);
+    t.ct = flops / (p.gflops * 1e9);
+    t.ut = transfer_seconds(static_cast<double>(up_bytes_fn(id)) * wire_scale_,
+                            p.up_mbps);
+    t.finish = t.dt + t.ct + t.ut;
+    return t;
+  };
+  auto by_finish = [](const Timed& a, const Timed& b) {
+    if (a.finish != b.finish) return a.finish < b.finish;
+    return a.id < b.id;  // deterministic tie-break
+  };
+
+  std::vector<Timed> sticky_t, other_t;
+  sticky_t.reserve(cand.sticky.size());
+  other_t.reserve(cand.nonsticky.size());
+  for (int id : cand.sticky) sticky_t.push_back(time_client(id));
+  for (int id : cand.nonsticky) other_t.push_back(time_client(id));
+  std::sort(sticky_t.begin(), sticky_t.end(), by_finish);
+  std::sort(other_t.begin(), other_t.end(), by_finish);
+
+  // Every invitee downloads the sync payload (even those later dropped as
+  // stragglers) — this is why over-commitment inflates DV in Table 3b.
+  rec.num_invited += cand.total_invited();
+  double stale_sum = 0.0;
+  int stale_n = 0;
+  for (const auto& t : sticky_t) {
+    rec.down_bytes += static_cast<double>(t.down_b) * wire_scale_;
+  }
+  for (const auto& t : other_t) {
+    rec.down_bytes += static_cast<double>(t.down_b) * wire_scale_;
+  }
+
+  Participation part;
+  auto include = [&](const Timed& t, std::vector<int>& group) {
+    group.push_back(t.id);
+    rec.up_bytes += static_cast<double>(up_bytes_fn(t.id)) * wire_scale_;
+    rec.down_time_s = std::max(rec.down_time_s, t.dt);
+    rec.up_time_s = std::max(rec.up_time_s, t.ut);
+    rec.compute_time_s = std::max(rec.compute_time_s, t.ct);
+    rec.wall_time_s = std::max(rec.wall_time_s, t.finish);
+    const int st = sync_->staleness(t.id, round);
+    if (st >= 0) {
+      stale_sum += st;
+      ++stale_n;
+    }
+  };
+  const int take_sticky =
+      std::min<int>(cand.need_sticky, static_cast<int>(sticky_t.size()));
+  for (int i = 0; i < take_sticky; ++i) {
+    include(sticky_t[static_cast<size_t>(i)], part.sticky);
+  }
+  const int take_other = std::min<int>(cand.need_nonsticky,
+                                       static_cast<int>(other_t.size()));
+  for (int i = 0; i < take_other; ++i) {
+    include(other_t[static_cast<size_t>(i)], part.nonsticky);
+  }
+
+  rec.num_included += static_cast<int>(part.sticky.size() +
+                                       part.nonsticky.size());
+  rec.mean_staleness = stale_n > 0 ? stale_sum / stale_n : 0.0;
+
+  // All invitees received w^{round} during their download.
+  for (const auto& t : sticky_t) sync_->mark_synced(t.id, round);
+  for (const auto& t : other_t) sync_->mark_synced(t.id, round);
+  return part;
+}
+
+void SimEngine::train_one(Worker& w, int client, int round, LocalResult& out) {
+  const ClientShard& shard = dataset_.clients[static_cast<size_t>(client)];
+  GLUEFL_CHECK(shard.n > 0);
+  const int feat = dataset_.spec.feature_dim;
+  const int bs = std::min(train_cfg_.batch_size, shard.n);
+
+  w.params = params_;
+  w.stats = stats_;
+  w.grads.resize(dim_);
+  w.xbuf.resize(static_cast<size_t>(bs) * feat);
+  w.ybuf.resize(static_cast<size_t>(bs));
+
+  Rng rng = master_rng_.fork(kStreamRoundBase +
+                             static_cast<uint64_t>(round) * 64 + 63)
+                .fork(static_cast<uint64_t>(client));
+  w.order.resize(static_cast<size_t>(shard.n));
+  for (int i = 0; i < shard.n; ++i) w.order[static_cast<size_t>(i)] = i;
+  rng.shuffle(w.order);
+
+  SgdMomentum opt(dim_, train_cfg_.momentum);
+  const double lr = lr_at(round);
+  int cursor = 0;
+  double loss_sum = 0.0;
+  for (int e = 0; e < train_cfg_.local_steps; ++e) {
+    for (int b = 0; b < bs; ++b) {
+      if (cursor == shard.n) {
+        cursor = 0;
+        rng.shuffle(w.order);
+      }
+      const int s = w.order[static_cast<size_t>(cursor++)];
+      std::copy_n(shard.x.data() + static_cast<size_t>(s) * feat, feat,
+                  w.xbuf.data() + static_cast<size_t>(b) * feat);
+      w.ybuf[static_cast<size_t>(b)] = shard.y[static_cast<size_t>(s)];
+    }
+    const float loss = w.model.forward_backward(
+        w.params.data(), w.stats.data(), w.xbuf.data(), w.ybuf.data(), bs,
+        w.grads.data());
+    opt.step(w.params.data(), w.grads.data(), lr);
+    loss_sum += loss;
+  }
+
+  out.delta.resize(dim_);
+  sub(w.params.data(), params_.data(), out.delta.data(), dim_);
+  out.stat_delta.resize(stat_dim_);
+  sub(w.stats.data(), stats_.data(), out.stat_delta.data(), stat_dim_);
+  out.loss = static_cast<float>(loss_sum / train_cfg_.local_steps);
+  out.n_samples = shard.n;
+}
+
+std::vector<LocalResult> SimEngine::local_train(const std::vector<int>& clients,
+                                                int round) {
+  std::vector<LocalResult> results(clients.size());
+  const int nthreads =
+      std::min<int>(num_threads_, static_cast<int>(clients.size()));
+  if (nthreads <= 1) {
+    for (size_t i = 0; i < clients.size(); ++i) {
+      train_one(*workers_[0], clients[i], round, results[i]);
+    }
+    return results;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) {
+    threads.emplace_back([this, t, nthreads, round, &clients, &results]() {
+      for (size_t i = static_cast<size_t>(t); i < clients.size();
+           i += static_cast<size_t>(nthreads)) {
+        train_one(*workers_[static_cast<size_t>(t)], clients[i], round,
+                  results[i]);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  return results;
+}
+
+EvalResult SimEngine::evaluate() {
+  return proxy_.model.evaluate(
+      params_.data(), stats_.data(), dataset_.test_x.data(),
+      dataset_.test_y.data(), static_cast<int>(dataset_.test_y.size()),
+      /*batch=*/256, run_cfg_.topk_accuracy);
+}
+
+RunResult SimEngine::run(Strategy& strategy) {
+  reset_state();
+  strategy.init(*this);
+  RunResult result;
+  result.strategy = strategy.name();
+  result.rounds.reserve(static_cast<size_t>(run_cfg_.rounds));
+  for (int t = 0; t < run_cfg_.rounds; ++t) {
+    RoundRecord rec;
+    rec.round = t;
+    strategy.run_round(*this, t, rec);
+    if (t % run_cfg_.eval_every == 0 || t + 1 == run_cfg_.rounds) {
+      rec.test_acc = evaluate().accuracy;
+    }
+    result.rounds.push_back(rec);
+  }
+  return result;
+}
+
+}  // namespace gluefl

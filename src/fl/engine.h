@@ -1,0 +1,152 @@
+// SimEngine: the cross-device FL simulator.
+//
+// Owns the global model state (flat trainable params + BatchNorm stats),
+// the federated dataset, per-client system profiles, the availability
+// trace and the staleness tracker. Strategies drive each round through the
+// context API below; the engine provides
+//
+//   * deterministic, parallel client-local SGD (real training on the
+//     proxy model — accuracy curves are genuine, not modelled),
+//   * the participation/straggler simulation: every invitee's round time is
+//     download + compute + upload from its profile; the fastest
+//     `need_sticky` sticky and `need_nonsticky` non-sticky finishers are
+//     aggregated, and invited-but-dropped clients still pay (and are
+//     charged) their download — reproducing the over-commitment behaviour
+//     of Table 3,
+//   * byte/time/accuracy metrics collection.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/federated_dataset.h"
+#include "fl/metrics.h"
+#include "fl/sim_config.h"
+#include "fl/strategy.h"
+#include "fl/sync_tracker.h"
+#include "net/availability.h"
+#include "net/client_profile.h"
+#include "net/environment.h"
+#include "nn/proxies.h"
+#include "sampling/sampler.h"
+
+namespace gluefl {
+
+/// Result of one client's local training.
+struct LocalResult {
+  std::vector<float> delta;       // w_i^{t,E} - w^t (trainable)
+  std::vector<float> stat_delta;  // BN statistics delta (Appendix D)
+  float loss = 0.0f;
+  int n_samples = 0;
+};
+
+/// Who actually participated after the straggler cutoff.
+struct Participation {
+  std::vector<int> sticky;     // included, from the sticky invitation list
+  std::vector<int> nonsticky;  // included, from the non-sticky list
+  std::vector<int> all() const;
+};
+
+class SimEngine {
+ public:
+  SimEngine(FederatedDataset dataset, ModelProxy proxy, NetworkEnv env,
+            TrainConfig train_cfg, RunConfig run_cfg);
+  ~SimEngine();  // out-of-line: Worker is an incomplete type here
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+  SimEngine(SimEngine&&) = default;
+  SimEngine& operator=(SimEngine&&) = delete;
+
+  /// Runs a full training: resets global state, executes run_cfg.rounds
+  /// rounds of `strategy`, evaluating every eval_every rounds.
+  RunResult run(Strategy& strategy);
+
+  // ---- context API used by strategies ----
+  size_t dim() const { return dim_; }
+  size_t stat_dim() const { return stat_dim_; }
+  int num_clients() const { return dataset_.num_clients(); }
+  int clients_per_round() const { return run_cfg_.clients_per_round; }
+  const FederatedDataset& dataset() const { return dataset_; }
+  const TrainConfig& train_config() const { return train_cfg_; }
+  const RunConfig& run_config() const { return run_cfg_; }
+  const NetworkEnv& env() const { return env_; }
+  const std::vector<ClientProfile>& profiles() const { return profiles_; }
+
+  std::vector<float>& params() { return params_; }
+  const std::vector<float>& params() const { return params_; }
+  std::vector<float>& stats() { return stats_; }
+  const std::vector<float>& stats() const { return stats_; }
+
+  /// FedAvg importance weight p_i (= n_i / total samples).
+  double client_weight(int client) const;
+
+  SyncTracker& sync() { return *sync_; }
+  const SyncTracker& sync() const { return *sync_; }
+
+  /// Wire bytes of the dense BatchNorm statistics payload.
+  size_t stat_bytes() const;
+
+  /// Deterministic RNG for (round, purpose).
+  Rng round_rng(int round, uint64_t purpose) const;
+
+  bool client_available(int client, int round) const;
+  AvailabilityFn availability_fn(int round);
+
+  /// Learning rate schedule (paper: decay 0.98 every 10 rounds).
+  double lr_at(int round) const;
+
+  /// Simulated FLOPs one client spends training for one round.
+  double flops_per_client_round() const;
+
+  /// Bytes-on-wire multiplier: real-model params / proxy params (1 when the
+  /// proxy declares no real-model size). Applied uniformly to every payload
+  /// for both transfer times and reported volumes, so the simulation moves
+  /// bytes as if the full-size architecture were being shipped.
+  double wire_scale() const { return wire_scale_; }
+
+  /// Straggler / over-commitment simulation. `down_bytes_fn` /
+  /// `up_bytes_fn` give per-client payload sizes; fills the byte and time
+  /// fields of `rec` and marks every invitee synced at `round`.
+  Participation simulate_participation(
+      int round, const CandidateSet& cand,
+      const std::function<size_t(int)>& down_bytes_fn,
+      const std::function<size_t(int)>& up_bytes_fn, RoundRecord& rec);
+
+  /// Trains `clients` locally (in parallel) from the current global model.
+  /// Results are indexed like `clients`. Deterministic regardless of the
+  /// thread count.
+  std::vector<LocalResult> local_train(const std::vector<int>& clients,
+                                       int round);
+
+  /// Test-set evaluation of the current global model.
+  EvalResult evaluate();
+
+ private:
+  struct Worker;  // per-thread training context
+
+  void reset_state();
+  void train_one(Worker& w, int client, int round, LocalResult& out);
+
+  FederatedDataset dataset_;
+  ModelProxy proxy_;
+  NetworkEnv env_;
+  TrainConfig train_cfg_;
+  RunConfig run_cfg_;
+
+  size_t dim_ = 0;
+  size_t stat_dim_ = 0;
+  std::vector<float> params_;
+  std::vector<float> stats_;
+
+  std::vector<ClientProfile> profiles_;
+  std::unique_ptr<AvailabilityTrace> availability_;
+  std::unique_ptr<SyncTracker> sync_;
+  Rng master_rng_;
+  double wire_scale_ = 1.0;
+  int num_threads_ = 1;
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace gluefl

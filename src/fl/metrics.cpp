@@ -1,0 +1,90 @@
+#include "fl/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gluefl {
+
+std::vector<double> RunResult::smoothed_accuracy(int window) const {
+  GLUEFL_CHECK(window >= 1);
+  std::vector<double> out(rounds.size(),
+                          std::numeric_limits<double>::quiet_NaN());
+  std::vector<double> recent;  // last `window` evaluated accuracies
+  for (size_t i = 0; i < rounds.size(); ++i) {
+    if (!std::isnan(rounds[i].test_acc)) {
+      recent.push_back(rounds[i].test_acc);
+      if (recent.size() > static_cast<size_t>(window)) {
+        recent.erase(recent.begin());
+      }
+    }
+    if (!recent.empty()) {
+      double s = 0.0;
+      for (double a : recent) s += a;
+      out[i] = s / static_cast<double>(recent.size());
+    }
+  }
+  return out;
+}
+
+int RunResult::rounds_to_accuracy(double target, int window) const {
+  const auto acc = smoothed_accuracy(window);
+  for (size_t i = 0; i < acc.size(); ++i) {
+    if (!std::isnan(acc[i]) && acc[i] >= target) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+RunTotals RunResult::totals(int end_round) const {
+  RunTotals t;
+  const size_t end = end_round < 0
+                         ? rounds.size()
+                         : std::min(rounds.size(),
+                                    static_cast<size_t>(end_round) + 1);
+  for (size_t i = 0; i < end; ++i) {
+    t.down_gb += rounds[i].down_bytes / kBytesPerGb;
+    t.up_gb += rounds[i].up_bytes / kBytesPerGb;
+    t.download_hours += rounds[i].down_time_s / 3600.0;
+    t.wall_hours += rounds[i].wall_time_s / 3600.0;
+  }
+  t.total_gb = t.down_gb + t.up_gb;
+  t.rounds = static_cast<int>(end);
+  const auto acc = smoothed_accuracy(5);
+  if (end > 0 && !acc.empty()) {
+    const double a = acc[end - 1];
+    t.final_acc = std::isnan(a) ? 0.0 : a;
+  }
+  return t;
+}
+
+RunTotals RunResult::totals_to_accuracy(double target, int window) const {
+  const int r = rounds_to_accuracy(target, window);
+  RunTotals t = totals(r);
+  t.reached_target = r >= 0;
+  return t;
+}
+
+std::vector<std::pair<double, double>> RunResult::accuracy_vs_downstream(
+    int window) const {
+  const auto acc = smoothed_accuracy(window);
+  std::vector<std::pair<double, double>> out;
+  double cum_gb = 0.0;
+  for (size_t i = 0; i < rounds.size(); ++i) {
+    cum_gb += rounds[i].down_bytes / kBytesPerGb;
+    if (!std::isnan(rounds[i].test_acc)) {
+      out.emplace_back(cum_gb, acc[i]);
+    }
+  }
+  return out;
+}
+
+double RunResult::best_accuracy() const {
+  double best = 0.0;
+  for (const auto& r : rounds) {
+    if (!std::isnan(r.test_acc)) best = std::max(best, r.test_acc);
+  }
+  return best;
+}
+
+}  // namespace gluefl

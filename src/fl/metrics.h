@@ -1,0 +1,74 @@
+// Per-round records and whole-run results, mirroring the paper's metrics:
+//   DV — downstream transmission volume       TV — total volume
+//   DT — summed slowest-download time         TT — total training time
+// plus accuracy-versus-bandwidth series for the sensitivity figures.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gluefl {
+
+struct RoundRecord {
+  int round = 0;
+  double down_bytes = 0.0;  // all invited clients (dropped invitees included)
+  double up_bytes = 0.0;    // aggregated participants only
+  double down_time_s = 0.0; // slowest included download (paper's DT element)
+  double up_time_s = 0.0;
+  double compute_time_s = 0.0;
+  double wall_time_s = 0.0; // round duration (last needed finisher)
+  double train_loss = std::numeric_limits<double>::quiet_NaN();
+  double test_acc = std::numeric_limits<double>::quiet_NaN();
+  int num_invited = 0;
+  int num_included = 0;
+  double mean_staleness = 0.0;    // rounds since last sync, included clients
+  double changed_frac = 0.0;      // |changed positions| / dim this round
+  double mask_overlap = 0.0;      // |M_t ∩ M_{t-1}| / |M_t| (GlueFL only)
+};
+
+/// Totals of a run prefix (used for "cost to reach target accuracy").
+struct RunTotals {
+  double down_gb = 0.0;
+  double up_gb = 0.0;
+  double total_gb = 0.0;
+  double download_hours = 0.0;  // paper's DT
+  double wall_hours = 0.0;      // paper's TT
+  int rounds = 0;
+  bool reached_target = false;
+  double final_acc = 0.0;
+};
+
+class RunResult {
+ public:
+  std::string strategy;
+  std::vector<RoundRecord> rounds;
+
+  /// Smoothed test accuracy at round index i: mean of the last `window`
+  /// evaluated accuracies up to and including round i (paper averages the
+  /// test accuracy over 5 evaluations).
+  std::vector<double> smoothed_accuracy(int window) const;
+
+  /// First round index whose smoothed accuracy reaches `target`; -1 never.
+  int rounds_to_accuracy(double target, int window = 5) const;
+
+  /// Sums DV/TV/DT/TT over rounds [0, end_round]; end_round < 0 sums all.
+  RunTotals totals(int end_round = -1) const;
+
+  /// Totals up to (and including) the round where the smoothed accuracy
+  /// first reaches `target`; `reached_target` is false (and the sums cover
+  /// the whole run) if it never does.
+  RunTotals totals_to_accuracy(double target, int window = 5) const;
+
+  /// (cumulative downstream GB, smoothed accuracy) pairs at every
+  /// evaluated round — the series plotted by Figs. 5-8, 10, 11.
+  std::vector<std::pair<double, double>> accuracy_vs_downstream(
+      int window = 5) const;
+
+  double best_accuracy() const;
+};
+
+inline constexpr double kBytesPerGb = 1e9;
+
+}  // namespace gluefl

@@ -1,0 +1,32 @@
+// Training and simulation configuration (paper §5.1 defaults).
+#pragma once
+
+#include <cstdint>
+
+namespace gluefl {
+
+/// Client-side optimization hyper-parameters.
+struct TrainConfig {
+  int local_steps = 10;    // E: local SGD iterations per round
+  int batch_size = 16;
+  double lr0 = 0.05;       // initial learning rate
+  double lr_decay = 0.98;  // multiplied every lr_decay_every rounds
+  int lr_decay_every = 10;
+  double momentum = 0.9;   // PyTorch SGD momentum (paper uses 0.9)
+};
+
+/// Round-loop / systems configuration.
+struct RunConfig {
+  int rounds = 300;
+  int clients_per_round = 30;  // K
+  double overcommit = 1.3;     // OC factor (§5.1)
+  int eval_every = 5;          // evaluate test accuracy every n rounds
+  int eval_window = 5;         // paper: accuracy averaged over 5 evals
+  int topk_accuracy = 1;       // 5 for OpenImage
+  bool use_availability = true;
+  uint64_t seed = 42;
+  /// Threads for parallel client training; 0 = hardware concurrency.
+  int num_threads = 0;
+};
+
+}  // namespace gluefl

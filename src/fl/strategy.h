@@ -1,0 +1,33 @@
+// Strategy interface: one FL algorithm = one Strategy implementation.
+//
+// The engine owns the round loop, the global model state, timing and
+// byte accounting; the strategy decides who participates, what is
+// transmitted, and how updates are aggregated — mirroring the structure of
+// the paper's Algorithms 1-3. A Strategy instance carries state across
+// rounds (masks, residuals, freeze periods) and is therefore used for a
+// single run.
+#pragma once
+
+#include <string>
+
+namespace gluefl {
+
+class SimEngine;
+struct RoundRecord;
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before round 0.
+  virtual void init(SimEngine& engine) { (void)engine; }
+
+  /// Executes one communication round: sample -> download -> local train ->
+  /// upload -> aggregate; must record the changed-position bitmap via
+  /// engine.sync().record_round_changes(round, ...).
+  virtual void run_round(SimEngine& engine, int round, RoundRecord& rec) = 0;
+};
+
+}  // namespace gluefl

@@ -1,0 +1,74 @@
+#include "fl/sync_tracker.h"
+
+#include "common/check.h"
+
+namespace gluefl {
+
+SyncTracker::SyncTracker(int num_clients, size_t dim, size_t window)
+    : dim_(dim),
+      window_(window),
+      last_sync_(static_cast<size_t>(num_clients), -1) {
+  GLUEFL_CHECK(num_clients > 0 && dim > 0 && window > 0);
+}
+
+void SyncTracker::record_round_changes(int round, const BitMask& changed) {
+  GLUEFL_CHECK_MSG(round == next_round_,
+                   "rounds must be recorded consecutively");
+  GLUEFL_CHECK(changed.size() == dim_);
+  changes_.push_back(changed);
+  ++next_round_;
+  while (changes_.size() > window_) {
+    changes_.pop_front();
+    ++first_round_;
+  }
+}
+
+size_t SyncTracker::stale_positions(int client, int round) const {
+  GLUEFL_CHECK(client >= 0 &&
+               client < static_cast<int>(last_sync_.size()));
+  GLUEFL_CHECK_MSG(round <= next_round_,
+                   "cannot query a round whose predecessors are unrecorded");
+  const int ls = last_sync_[static_cast<size_t>(client)];
+  if (ls < 0 || ls < first_round_) return dim_;  // never synced / off-window
+  if (ls >= round) return 0;
+  BitMask u(dim_);
+  for (int r = ls; r < round; ++r) {
+    u |= changes_[static_cast<size_t>(r - first_round_)];
+  }
+  return u.count();
+}
+
+size_t SyncTracker::sync_bytes(int client, int round,
+                               PositionEncoding enc) const {
+  const size_t nnz = stale_positions(client, round);
+  if (nnz == 0) return 0;
+  if (nnz == dim_) return dense_bytes(dim_);  // full model, positions implicit
+  return sparse_update_bytes(nnz, dim_, enc);
+}
+
+size_t SyncTracker::changed_union(int from, int to) const {
+  GLUEFL_CHECK(from >= first_round_ && to <= next_round_ && from <= to);
+  BitMask u(dim_);
+  for (int r = from; r < to; ++r) {
+    u |= changes_[static_cast<size_t>(r - first_round_)];
+  }
+  return u.count();
+}
+
+int SyncTracker::staleness(int client, int round) const {
+  const int ls = last_sync_[static_cast<size_t>(client)];
+  if (ls < 0) return -1;
+  return round - ls;
+}
+
+void SyncTracker::mark_synced(int client, int round) {
+  GLUEFL_CHECK(client >= 0 &&
+               client < static_cast<int>(last_sync_.size()));
+  last_sync_[static_cast<size_t>(client)] = round;
+}
+
+int SyncTracker::last_synced_round(int client) const {
+  return last_sync_[static_cast<size_t>(client)];
+}
+
+}  // namespace gluefl

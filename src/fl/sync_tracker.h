@@ -1,0 +1,68 @@
+// Staleness-aware downstream accounting — the mechanism behind the paper's
+// central observation (§2.3, Fig. 2b).
+//
+// The server records, for every round, the bitmap of model positions its
+// aggregation changed. A client that last synchronized at round t0 and is
+// invited at round t must download the NEW VALUES of every position in the
+// union of the changed-bitmaps of rounds t0 .. t-1 (plus a position
+// encoding so it knows which values arrived). Under masking the per-round
+// bitmap is small, but the union grows with staleness — which is exactly
+// why masking alone fails to save downstream bandwidth once client
+// sampling makes most clients stale.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "compress/bitmask.h"
+#include "compress/encoding.h"
+
+namespace gluefl {
+
+class SyncTracker {
+ public:
+  /// `window`: how many rounds of changed-bitmaps to retain; clients staler
+  /// than the window are charged a full-model download.
+  SyncTracker(int num_clients, size_t dim, size_t window = 4096);
+
+  size_t dim() const { return dim_; }
+
+  /// Records the positions changed by round `round`'s aggregation
+  /// (w^{round} -> w^{round+1}). Rounds must be recorded consecutively
+  /// starting from 0.
+  void record_round_changes(int round, const BitMask& changed);
+
+  /// Number of positions `client` must download to reach w^{round}.
+  /// Full dim when the client has never synced (or fell off the window).
+  size_t stale_positions(int client, int round) const;
+
+  /// Wire bytes for that download: values + position encoding. Zero when
+  /// the client is already current.
+  size_t sync_bytes(int client, int round,
+                    PositionEncoding enc = PositionEncoding::kAuto) const;
+
+  /// Rounds since the client last synced; -1 if never.
+  int staleness(int client, int round) const;
+
+  /// Union size of the changed-position bitmaps of rounds [from, to) —
+  /// what a hypothetical client synced at `from` must download at `to`
+  /// (Fig. 2b plots this as a fraction of the model versus to - from).
+  /// Both rounds must still be inside the retention window.
+  size_t changed_union(int from, int to) const;
+
+  /// Marks that `client` now holds w^{round}.
+  void mark_synced(int client, int round);
+
+  int last_synced_round(int client) const;
+
+ private:
+  size_t dim_;
+  size_t window_;
+  std::vector<int> last_sync_;     // round whose model the client holds; -1 never
+  std::deque<BitMask> changes_;    // changes_[i] belongs to round first_round_ + i
+  int first_round_ = 0;
+  int next_round_ = 0;             // next round to be recorded
+};
+
+}  // namespace gluefl

@@ -1,0 +1,53 @@
+#include "net/availability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gluefl {
+
+AvailabilityTrace::AvailabilityTrace(int num_clients, int horizon,
+                                     const NetworkEnv& env, Rng& rng)
+    : num_clients_(num_clients),
+      horizon_(horizon),
+      always_on_(env.availability >= 1.0) {
+  GLUEFL_CHECK(num_clients > 0 && horizon > 0);
+  if (always_on_) return;
+
+  online_.assign(static_cast<size_t>(horizon),
+                 BitMask(static_cast<size_t>(num_clients)));
+  // Geometric sojourns: P(leave on-state) = 1/mean_on per round. The
+  // environment's steady-state availability overrides the on/off balance:
+  // avail = mean_on / (mean_on + mean_off).
+  const double mean_on = std::max(1.0, env.mean_on_rounds);
+  const double mean_off =
+      std::max(1.0, mean_on * (1.0 - env.availability) / env.availability);
+  const double p_off = 1.0 / mean_on;   // on -> off
+  const double p_on = 1.0 / mean_off;   // off -> on
+  for (int c = 0; c < num_clients_; ++c) {
+    Rng cr = rng.fork(0xA7A1 + static_cast<uint64_t>(c));
+    bool on = cr.bernoulli(env.availability);  // stationary start
+    for (int t = 0; t < horizon_; ++t) {
+      if (on) online_[static_cast<size_t>(t)].set(static_cast<size_t>(c));
+      const double flip = on ? p_off : p_on;
+      if (cr.bernoulli(flip)) on = !on;
+    }
+  }
+}
+
+bool AvailabilityTrace::available(int client, int round) const {
+  GLUEFL_CHECK(client >= 0 && client < num_clients_);
+  if (always_on_) return true;
+  GLUEFL_CHECK(round >= 0 && round < horizon_);
+  return online_[static_cast<size_t>(round)].test(static_cast<size_t>(client));
+}
+
+double AvailabilityTrace::online_fraction(int round) const {
+  if (always_on_) return 1.0;
+  GLUEFL_CHECK(round >= 0 && round < horizon_);
+  return static_cast<double>(online_[static_cast<size_t>(round)].count()) /
+         static_cast<double>(num_clients_);
+}
+
+}  // namespace gluefl

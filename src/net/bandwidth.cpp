@@ -1,0 +1,35 @@
+#include "net/bandwidth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gluefl {
+
+BandwidthSampler::BandwidthSampler(LogNormalSpec down, LogNormalSpec up,
+                                   double correlation)
+    : down_(down), up_(up), corr_(correlation) {
+  GLUEFL_CHECK(correlation >= 0.0 && correlation <= 1.0);
+  GLUEFL_CHECK(down.min_mbps > 0.0 && up.min_mbps > 0.0);
+}
+
+LinkSpec BandwidthSampler::sample(Rng& rng) const {
+  const double shared = rng.normal();
+  const double mix = std::sqrt(1.0 - corr_ * corr_);
+  const double zd = corr_ * shared + mix * rng.normal();
+  const double zu = corr_ * shared + mix * rng.normal();
+  LinkSpec link;
+  link.down_mbps = std::clamp(std::exp(down_.mu_log + down_.sigma_log * zd),
+                              down_.min_mbps, down_.max_mbps);
+  link.up_mbps = std::clamp(std::exp(up_.mu_log + up_.sigma_log * zu),
+                            up_.min_mbps, up_.max_mbps);
+  return link;
+}
+
+double transfer_seconds(double bytes, double mbps) {
+  GLUEFL_CHECK(mbps > 0.0);
+  return bytes * 8.0 / (mbps * 1e6);
+}
+
+}  // namespace gluefl

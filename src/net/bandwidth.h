@@ -1,0 +1,49 @@
+// Client bandwidth model.
+//
+// The paper drives its simulation with the M-Lab NDT measurement dataset
+// (Fig. 1): North-American download/upload speeds are heavy-tailed, with
+// roughly 20% of devices below 10 Mbps download and uploads several times
+// slower than downloads. We model each direction as a clipped log-normal
+// with a shared latent factor (fast-download households also tend to have
+// fast upload), calibrated so the CDF reproduces Fig. 1b's key quantiles.
+#pragma once
+
+#include "common/rng.h"
+
+namespace gluefl {
+
+/// One client's access link.
+struct LinkSpec {
+  double down_mbps = 0.0;
+  double up_mbps = 0.0;
+};
+
+/// Clipped log-normal parameterization for one direction.
+struct LogNormalSpec {
+  double mu_log = 0.0;     // mean of log(Mbps)
+  double sigma_log = 1.0;  // stdev of log(Mbps)
+  double min_mbps = 0.2;
+  double max_mbps = 10000.0;
+};
+
+class BandwidthSampler {
+ public:
+  /// `correlation` in [0,1] couples the download and upload draws through a
+  /// shared standard-normal factor.
+  BandwidthSampler(LogNormalSpec down, LogNormalSpec up, double correlation);
+
+  LinkSpec sample(Rng& rng) const;
+
+  const LogNormalSpec& down_spec() const { return down_; }
+  const LogNormalSpec& up_spec() const { return up_; }
+
+ private:
+  LogNormalSpec down_;
+  LogNormalSpec up_;
+  double corr_;
+};
+
+/// Seconds to move `bytes` over a `mbps` link (Mbps = 1e6 bits/s).
+double transfer_seconds(double bytes, double mbps);
+
+}  // namespace gluefl

@@ -1,0 +1,23 @@
+#include "net/client_profile.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gluefl {
+
+std::vector<ClientProfile> make_profiles(int num_clients,
+                                         const NetworkEnv& env, Rng& rng) {
+  GLUEFL_CHECK(num_clients > 0);
+  std::vector<ClientProfile> out(static_cast<size_t>(num_clients));
+  for (auto& p : out) {
+    const LinkSpec link = env.bandwidth.sample(rng);
+    p.down_mbps = link.down_mbps;
+    p.up_mbps = link.up_mbps;
+    p.gflops = std::max(0.05, rng.lognormal(env.gflops_mu_log,
+                                            env.gflops_sigma_log));
+  }
+  return out;
+}
+
+}  // namespace gluefl

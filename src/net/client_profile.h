@@ -1,0 +1,22 @@
+// Per-client system profile: access link and device speed, drawn once per
+// client from the environment's distributions (FedScale keeps these fixed
+// per device across the trace; so do we).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "net/environment.h"
+
+namespace gluefl {
+
+struct ClientProfile {
+  double down_mbps = 0.0;
+  double up_mbps = 0.0;
+  double gflops = 0.0;  // effective device training throughput
+};
+
+std::vector<ClientProfile> make_profiles(int num_clients,
+                                         const NetworkEnv& env, Rng& rng);
+
+}  // namespace gluefl

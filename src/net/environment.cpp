@@ -1,0 +1,53 @@
+#include "net/environment.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gluefl {
+
+NetworkEnv make_edge_env() {
+  // Calibrated to Fig. 1b: P(down <= 10 Mbps) ~ 0.2 with median 50 Mbps
+  // requires sigma = ln(50/10)/z_{0.8} = 1.609/0.8416 ~ 1.91.
+  LogNormalSpec down{std::log(50.0), 1.91, 0.5, 3000.0};
+  LogNormalSpec up{std::log(12.0), 1.6, 0.2, 1500.0};
+  NetworkEnv env{"edge", BandwidthSampler(down, up, 0.6)};
+  env.gflops_mu_log = std::log(6.0);  // phones/IoT: ~2-20 GFLOP/s effective
+  env.gflops_sigma_log = 0.6;
+  env.availability = 0.8;
+  env.mean_on_rounds = 60.0;
+  env.mean_off_rounds = 15.0;
+  return env;
+}
+
+NetworkEnv make_5g_env() {
+  LogNormalSpec down{std::log(900.0), 0.45, 50.0, 4000.0};
+  LogNormalSpec up{std::log(60.0), 0.5, 5.0, 500.0};
+  NetworkEnv env{"5g", BandwidthSampler(down, up, 0.5)};
+  env.gflops_mu_log = std::log(12.0);  // recent phones
+  env.gflops_sigma_log = 0.4;
+  env.availability = 0.9;
+  env.mean_on_rounds = 80.0;
+  env.mean_off_rounds = 9.0;
+  return env;
+}
+
+NetworkEnv make_datacenter_env() {
+  LogNormalSpec down{std::log(5000.0), 0.2, 1000.0, 20000.0};
+  LogNormalSpec up{std::log(5000.0), 0.2, 1000.0, 20000.0};
+  NetworkEnv env{"datacenter", BandwidthSampler(down, up, 0.8)};
+  env.gflops_mu_log = std::log(100.0);  // accelerator-backed workers
+  env.gflops_sigma_log = 0.2;
+  env.availability = 1.0;
+  return env;
+}
+
+NetworkEnv make_env(const std::string& name) {
+  if (name == "edge") return make_edge_env();
+  if (name == "5g") return make_5g_env();
+  if (name == "datacenter") return make_datacenter_env();
+  GLUEFL_CHECK_MSG(false, "unknown network environment: " + name);
+  __builtin_unreachable();
+}
+
+}  // namespace gluefl

@@ -1,0 +1,42 @@
+// Network environment presets for the three settings of Fig. 9:
+//   (a) end-user edge devices (M-Lab-like residential links, slow devices),
+//   (b) commercial 5G (Narayanan et al., SIGCOMM'21 measurements),
+//   (c) Google Cloud datacenter network (Mok et al., IMC'21).
+//
+// Each environment also carries the device compute-speed distribution
+// (effective GFLOP/s, log-normal across clients) and the Markov
+// availability parameters used for FedScale-style client churn.
+#pragma once
+
+#include <string>
+
+#include "net/bandwidth.h"
+
+namespace gluefl {
+
+struct NetworkEnv {
+  std::string name;
+  BandwidthSampler bandwidth;
+  /// Device training throughput, log-normal across the population.
+  double gflops_mu_log = 0.0;
+  double gflops_sigma_log = 0.3;
+  /// Steady-state probability a client is online; 1.0 disables churn.
+  double availability = 1.0;
+  /// Mean sojourn lengths (in rounds) for the on/off Markov chain.
+  double mean_on_rounds = 60.0;
+  double mean_off_rounds = 15.0;
+};
+
+/// Residential / mobile edge: median ~50 Mbps down (20% below 10 Mbps),
+/// ~12 Mbps up, slow heterogeneous devices, 80% availability.
+NetworkEnv make_edge_env();
+
+/// Commercial 5G: ~900 Mbps down / 60 Mbps up medians, phone-class compute.
+NetworkEnv make_5g_env();
+
+/// Datacenter: ~5 Gbps symmetric, server-class compute, no churn.
+NetworkEnv make_datacenter_env();
+
+NetworkEnv make_env(const std::string& name);
+
+}  // namespace gluefl

@@ -1,0 +1,121 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gluefl {
+
+BatchNorm1d::BatchNorm1d(int dim, float momentum, float eps)
+    : dim_(dim), momentum_(momentum), eps_(eps) {
+  GLUEFL_CHECK(dim > 0);
+}
+
+void BatchNorm1d::init_params(float* flat_params, Rng& /*rng*/) const {
+  float* gamma = flat_params + params_.offset;
+  float* beta = gamma + dim_;
+  for (int j = 0; j < dim_; ++j) {
+    gamma[j] = 1.0f;
+    beta[j] = 0.0f;
+  }
+}
+
+void BatchNorm1d::init_stats(float* flat_stats) const {
+  float* mean = flat_stats + stats_.offset;
+  float* var = mean + dim_;
+  float* count = var + dim_;
+  for (int j = 0; j < dim_; ++j) {
+    mean[j] = 0.0f;
+    var[j] = 1.0f;
+  }
+  count[0] = 0.0f;
+}
+
+void BatchNorm1d::forward(const float* flat_params, float* flat_stats,
+                          const float* in, float* out, int bs, bool training) {
+  const float* gamma = flat_params + params_.offset;
+  const float* beta = gamma + dim_;
+  float* run_mean = flat_stats + stats_.offset;
+  float* run_var = run_mean + dim_;
+  float* num_batches = run_var + dim_;
+
+  if (training) {
+    GLUEFL_CHECK_MSG(bs >= 2, "BatchNorm training requires batch size >= 2");
+    xhat_.resize(static_cast<size_t>(bs) * dim_);
+    inv_std_.resize(static_cast<size_t>(dim_));
+    cached_bs_ = bs;
+    for (int j = 0; j < dim_; ++j) {
+      double m = 0.0;
+      for (int i = 0; i < bs; ++i) m += in[static_cast<size_t>(i) * dim_ + j];
+      m /= bs;
+      double v = 0.0;
+      for (int i = 0; i < bs; ++i) {
+        const double d = in[static_cast<size_t>(i) * dim_ + j] - m;
+        v += d * d;
+      }
+      const double var_biased = v / bs;
+      const double var_unbiased = bs > 1 ? v / (bs - 1) : var_biased;
+      const float istd = 1.0f / std::sqrt(static_cast<float>(var_biased) + eps_);
+      inv_std_[static_cast<size_t>(j)] = istd;
+      for (int i = 0; i < bs; ++i) {
+        const size_t idx = static_cast<size_t>(i) * dim_ + j;
+        const float xh = (in[idx] - static_cast<float>(m)) * istd;
+        xhat_[idx] = xh;
+        out[idx] = gamma[j] * xh + beta[j];
+      }
+      run_mean[j] = (1.0f - momentum_) * run_mean[j] +
+                    momentum_ * static_cast<float>(m);
+      run_var[j] = (1.0f - momentum_) * run_var[j] +
+                   momentum_ * static_cast<float>(var_unbiased);
+    }
+    num_batches[0] += 1.0f;
+  } else {
+    for (int j = 0; j < dim_; ++j) {
+      const float istd = 1.0f / std::sqrt(run_var[j] + eps_);
+      const float m = run_mean[j];
+      for (int i = 0; i < bs; ++i) {
+        const size_t idx = static_cast<size_t>(i) * dim_ + j;
+        out[idx] = gamma[j] * (in[idx] - m) * istd + beta[j];
+      }
+    }
+  }
+}
+
+void BatchNorm1d::backward(const float* flat_params, const float* gout,
+                           float* gin, float* flat_grads, int bs) {
+  GLUEFL_CHECK_MSG(bs == cached_bs_, "backward batch differs from forward");
+  const float* gamma = flat_params + params_.offset;
+  float* ggamma = flat_grads + params_.offset;
+  float* gbeta = ggamma + dim_;
+
+  for (int j = 0; j < dim_; ++j) {
+    // Reductions over the batch for feature j.
+    double sum_g = 0.0;       // sum of gout
+    double sum_gx = 0.0;      // sum of gout * xhat
+    for (int i = 0; i < bs; ++i) {
+      const size_t idx = static_cast<size_t>(i) * dim_ + j;
+      sum_g += gout[idx];
+      sum_gx += static_cast<double>(gout[idx]) * xhat_[idx];
+    }
+    ggamma[j] += static_cast<float>(sum_gx);
+    gbeta[j] += static_cast<float>(sum_g);
+    if (gin != nullptr) {
+      const float istd = inv_std_[static_cast<size_t>(j)];
+      const float c = gamma[j] * istd / static_cast<float>(bs);
+      for (int i = 0; i < bs; ++i) {
+        const size_t idx = static_cast<size_t>(i) * dim_ + j;
+        gin[idx] = c * (static_cast<float>(bs) * gout[idx] -
+                        static_cast<float>(sum_g) -
+                        xhat_[idx] * static_cast<float>(sum_gx));
+      }
+    }
+  }
+}
+
+std::unique_ptr<Layer> BatchNorm1d::clone() const {
+  auto l = std::make_unique<BatchNorm1d>(dim_, momentum_, eps_);
+  l->bind(params_, stats_);
+  return l;
+}
+
+}  // namespace gluefl

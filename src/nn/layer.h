@@ -1,0 +1,78 @@
+// Layer abstraction for the flat-parameter neural-network substrate.
+//
+// Design rationale: every federated masking / sparsification mechanism in
+// this library operates on a single contiguous trainable parameter vector.
+// Layers therefore do NOT own parameters — they are *views* bound to slices
+// of caller-owned flat vectors:
+//
+//   * `params`  — trainable parameters (weights, biases, BN gamma/beta);
+//                 this is what masks, top-k, and aggregation act on.
+//   * `stats`   — non-trainable state (BatchNorm running mean/var/count),
+//                 aggregated separately per Appendix D of the paper.
+//
+// A layer may keep internal *activation caches* between forward and
+// backward, so one Layer instance serves one thread at a time; the engine
+// clones the architecture per worker thread.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+
+namespace gluefl {
+
+/// Half-open range [offset, offset + size) into a flat vector.
+struct ParamSlice {
+  size_t offset = 0;
+  size_t size = 0;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual std::string name() const = 0;
+  virtual int in_dim() const = 0;
+  virtual int out_dim() const = 0;
+
+  /// Number of trainable parameters.
+  virtual size_t param_count() const = 0;
+  /// Number of non-trainable statistics (0 unless the layer has BN state).
+  virtual size_t stat_count() const { return 0; }
+
+  /// Records where this layer's parameters / stats live in the flat vectors.
+  void bind(ParamSlice params, ParamSlice stats) {
+    params_ = params;
+    stats_ = stats;
+  }
+  const ParamSlice& param_slice() const { return params_; }
+  const ParamSlice& stat_slice() const { return stats_; }
+
+  /// Writes initial parameter values into `flat_params` (full vector; the
+  /// layer indexes through its bound slice).
+  virtual void init_params(float* flat_params, Rng& rng) const = 0;
+  /// Writes initial statistics values (e.g. running_var = 1).
+  virtual void init_stats(float* flat_stats) const { (void)flat_stats; }
+
+  /// Forward pass: reads in[bs * in_dim], writes out[bs * out_dim].
+  /// In training mode a layer with statistics updates them in `flat_stats`.
+  virtual void forward(const float* flat_params, float* flat_stats,
+                       const float* in, float* out, int bs, bool training) = 0;
+
+  /// Backward pass. `gout` is dL/d(out); writes dL/d(in) into `gin` and
+  /// ACCUMULATES parameter gradients into `flat_grads`. Must be called after
+  /// a training-mode forward with the same batch.
+  virtual void backward(const float* flat_params, const float* gout,
+                        float* gin, float* flat_grads, int bs) = 0;
+
+  /// Deep copy of the architecture (not of activation caches).
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
+ protected:
+  ParamSlice params_;
+  ParamSlice stats_;
+};
+
+}  // namespace gluefl

@@ -1,0 +1,146 @@
+#include "nn/model.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+#include "nn/loss.h"
+#include "nn/residual.h"
+
+namespace gluefl {
+
+FlatModel::FlatModel(int input_dim, int num_classes)
+    : input_dim_(input_dim), num_classes_(num_classes) {
+  GLUEFL_CHECK(input_dim > 0 && num_classes > 1);
+}
+
+void FlatModel::add(std::unique_ptr<Layer> layer) {
+  GLUEFL_CHECK_MSG(!finalized_, "cannot add layers after finalize()");
+  if (layers_.empty()) {
+    GLUEFL_CHECK_MSG(layer->in_dim() == input_dim_,
+                     "first layer input dim mismatch");
+  } else {
+    GLUEFL_CHECK_MSG(layer->in_dim() == layers_.back()->out_dim(),
+                     "layer dim chain mismatch");
+  }
+  layers_.push_back(std::move(layer));
+}
+
+void FlatModel::finalize() {
+  GLUEFL_CHECK(!finalized_);
+  GLUEFL_CHECK_MSG(!layers_.empty(), "model has no layers");
+  GLUEFL_CHECK_MSG(layers_.back()->out_dim() == num_classes_,
+                   "last layer must emit num_classes logits");
+  size_t po = 0;
+  size_t so = 0;
+  for (auto& l : layers_) {
+    l->bind({po, l->param_count()}, {so, l->stat_count()});
+    if (auto* rb = dynamic_cast<ResidualBlock*>(l.get())) rb->bind_children();
+    po += l->param_count();
+    so += l->stat_count();
+  }
+  param_dim_ = po;
+  stat_dim_ = so;
+  finalized_ = true;
+}
+
+std::vector<float> FlatModel::make_params(Rng& rng) const {
+  GLUEFL_CHECK(finalized_);
+  std::vector<float> p(param_dim_, 0.0f);
+  for (const auto& l : layers_) l->init_params(p.data(), rng);
+  return p;
+}
+
+std::vector<float> FlatModel::make_stats() const {
+  GLUEFL_CHECK(finalized_);
+  std::vector<float> s(stat_dim_, 0.0f);
+  for (const auto& l : layers_) l->init_stats(s.data());
+  return s;
+}
+
+float FlatModel::forward_backward(const float* params, float* stats,
+                                  const float* x, const int* y, int bs,
+                                  float* grads) {
+  GLUEFL_CHECK(finalized_);
+  GLUEFL_CHECK(bs > 0);
+  const size_t nl = layers_.size();
+  fwd_buf_.resize(nl);
+  const float* cur = x;
+  for (size_t i = 0; i < nl; ++i) {
+    fwd_buf_[i].resize(static_cast<size_t>(bs) * layers_[i]->out_dim());
+    layers_[i]->forward(params, stats, cur, fwd_buf_[i].data(), bs,
+                        /*training=*/true);
+    cur = fwd_buf_[i].data();
+  }
+  std::memset(grads, 0, sizeof(float) * param_dim_);
+  gbuf_a_.resize(static_cast<size_t>(bs) * num_classes_);
+  const float loss =
+      softmax_xent(cur, y, bs, num_classes_, gbuf_a_.data());
+  // Backward chain.
+  float* g = gbuf_a_.data();
+  for (size_t i = nl; i-- > 0;) {
+    const bool need_gin = i > 0;
+    float* gin = nullptr;
+    if (need_gin) {
+      gbuf_b_.resize(static_cast<size_t>(bs) * layers_[i]->in_dim());
+      gin = gbuf_b_.data();
+    }
+    layers_[i]->backward(params, g, gin, grads, bs);
+    if (need_gin) std::swap(gbuf_a_, gbuf_b_), g = gbuf_a_.data();
+  }
+  return loss;
+}
+
+void FlatModel::predict(const float* params, const float* stats,
+                        const float* x, int bs, float* logits) {
+  GLUEFL_CHECK(finalized_);
+  const size_t nl = layers_.size();
+  fwd_buf_.resize(nl);
+  const float* cur = x;
+  // Eval mode never mutates stats; the const_cast below is safe because
+  // layers only write stats when training == true.
+  float* stats_mut = const_cast<float*>(stats);
+  for (size_t i = 0; i < nl; ++i) {
+    float* out = (i + 1 == nl)
+                     ? logits
+                     : (fwd_buf_[i].resize(static_cast<size_t>(bs) *
+                                           layers_[i]->out_dim()),
+                        fwd_buf_[i].data());
+    layers_[i]->forward(params, stats_mut, cur, out, bs, /*training=*/false);
+    cur = out;
+  }
+}
+
+EvalResult FlatModel::evaluate(const float* params, const float* stats,
+                               const float* x, const int* y, int n, int batch,
+                               int topk) {
+  GLUEFL_CHECK(n > 0 && batch > 0);
+  std::vector<float> logits(static_cast<size_t>(batch) * num_classes_);
+  double loss_sum = 0.0;
+  double acc_sum = 0.0;
+  int done = 0;
+  while (done < n) {
+    const int bs = std::min(batch, n - done);
+    logits.resize(static_cast<size_t>(bs) * num_classes_);
+    predict(params, stats, x + static_cast<size_t>(done) * input_dim_, bs,
+            logits.data());
+    loss_sum += static_cast<double>(softmax_xent(logits.data(), y + done, bs,
+                                                 num_classes_, nullptr)) *
+                bs;
+    acc_sum += accuracy_topk(logits.data(), y + done, bs, num_classes_, topk) *
+               bs;
+    done += bs;
+  }
+  return {loss_sum / n, acc_sum / n};
+}
+
+FlatModel FlatModel::clone() const {
+  FlatModel m(input_dim_, num_classes_);
+  for (const auto& l : layers_) m.layers_.push_back(l->clone());
+  m.param_dim_ = param_dim_;
+  m.stat_dim_ = stat_dim_;
+  m.finalized_ = finalized_;
+  return m;
+}
+
+}  // namespace gluefl

@@ -1,0 +1,82 @@
+// FlatModel: a feed-forward network whose trainable parameters live in a
+// single contiguous flat vector owned by the CALLER.
+//
+// This inversion is the key to the whole library: the federated layer
+// (masking, top-k sparsification, sticky aggregation, error compensation)
+// manipulates plain float vectors and bitmaps over [0, param_dim()), and a
+// single FlatModel instance evaluates any such vector — the global model,
+// a client's local copy, a candidate update — without copying layer
+// objects. Non-trainable BatchNorm statistics live in a second flat vector
+// (aggregated per the paper's Appendix D).
+//
+// One FlatModel instance is NOT thread-safe across concurrent calls
+// (layers cache activations); the simulation engine clones one instance
+// per worker thread via clone().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace gluefl {
+
+struct EvalResult {
+  double loss = 0.0;
+  double accuracy = 0.0;  // top-k, k chosen by the caller
+};
+
+class FlatModel {
+ public:
+  FlatModel(int input_dim, int num_classes);
+
+  /// Appends a layer; must be called before finalize().
+  void add(std::unique_ptr<Layer> layer);
+  /// Assigns flat slices to all layers; call exactly once after adding.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  int input_dim() const { return input_dim_; }
+  int num_classes() const { return num_classes_; }
+  size_t param_dim() const { return param_dim_; }
+  size_t stat_dim() const { return stat_dim_; }
+  size_t num_layers() const { return layers_.size(); }
+
+  /// Freshly initialized parameter / statistics vectors.
+  std::vector<float> make_params(Rng& rng) const;
+  std::vector<float> make_stats() const;
+
+  /// One training forward+backward pass over a batch.
+  /// `grads` (size param_dim) is OVERWRITTEN with the mean-loss gradient;
+  /// BatchNorm running statistics in `stats` are updated. Returns the batch
+  /// mean loss.
+  float forward_backward(const float* params, float* stats, const float* x,
+                         const int* y, int bs, float* grads);
+
+  /// Inference forward pass (eval mode; running statistics are read, not
+  /// written). `logits` must hold bs * num_classes floats.
+  void predict(const float* params, const float* stats, const float* x, int bs,
+               float* logits);
+
+  /// Batched evaluation of loss / top-k accuracy over a labelled set.
+  EvalResult evaluate(const float* params, const float* stats, const float* x,
+                      const int* y, int n, int batch, int topk);
+
+  /// Clones the architecture (same slices); for per-thread use.
+  FlatModel clone() const;
+
+ private:
+  int input_dim_;
+  int num_classes_;
+  size_t param_dim_ = 0;
+  size_t stat_dim_ = 0;
+  bool finalized_ = false;
+  std::vector<std::unique_ptr<Layer>> layers_;
+  // scratch activation buffers, grown on demand
+  std::vector<std::vector<float>> fwd_buf_;
+  std::vector<float> gbuf_a_, gbuf_b_;
+};
+
+}  // namespace gluefl

@@ -1,0 +1,28 @@
+#include "nn/optimizer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gluefl {
+
+SgdMomentum::SgdMomentum(size_t dim, double momentum)
+    : momentum_(momentum), velocity_(dim, 0.0f) {
+  GLUEFL_CHECK(momentum >= 0.0 && momentum < 1.0);
+}
+
+void SgdMomentum::step(float* params, const float* grads, double lr) {
+  const float mu = static_cast<float>(momentum_);
+  const float eta = static_cast<float>(lr);
+  const size_t n = velocity_.size();
+  for (size_t i = 0; i < n; ++i) {
+    velocity_[i] = mu * velocity_[i] + grads[i];
+    params[i] -= eta * velocity_[i];
+  }
+}
+
+void SgdMomentum::reset() {
+  std::fill(velocity_.begin(), velocity_.end(), 0.0f);
+}
+
+}  // namespace gluefl

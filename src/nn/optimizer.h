@@ -1,0 +1,29 @@
+// SGD with momentum acting on flat parameter vectors.
+//
+// Matches the paper's client optimizer (PyTorch SGD, momentum 0.9): the
+// momentum buffer is v <- mu * v + g and the step is w <- w - lr * v.
+// Clients are stateless between rounds, so the engine constructs a fresh
+// buffer per (client, round).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gluefl {
+
+class SgdMomentum {
+ public:
+  SgdMomentum(size_t dim, double momentum);
+
+  /// One step: updates `params` in place from `grads`.
+  void step(float* params, const float* grads, double lr);
+
+  void reset();
+  double momentum() const { return momentum_; }
+
+ private:
+  double momentum_;
+  std::vector<float> velocity_;
+};
+
+}  // namespace gluefl

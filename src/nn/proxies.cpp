@@ -1,0 +1,61 @@
+#include "nn/proxies.h"
+
+#include "common/check.h"
+#include "nn/activation.h"
+#include "nn/batchnorm.h"
+#include "nn/linear.h"
+#include "nn/residual.h"
+
+namespace gluefl {
+
+namespace {
+
+ModelProxy make_mlp_bn(const std::string& name, int input_dim, int num_classes,
+                       int width, double flops, double real_params) {
+  FlatModel m(input_dim, num_classes);
+  m.add(std::make_unique<Linear>(input_dim, width));
+  m.add(std::make_unique<BatchNorm1d>(width));
+  m.add(std::make_unique<ReLU>(width));
+  m.add(std::make_unique<Linear>(width, width));
+  m.add(std::make_unique<BatchNorm1d>(width));
+  m.add(std::make_unique<ReLU>(width));
+  m.add(std::make_unique<Linear>(width, num_classes));
+  m.finalize();
+  return {name, std::move(m), flops, real_params};
+}
+
+}  // namespace
+
+ModelProxy make_shufflenet_proxy(int input_dim, int num_classes) {
+  // The paper quotes ~5M parameters for ShuffleNet V2.
+  return make_mlp_bn("shufflenet", input_dim, num_classes, 128, 146e6, 5e6);
+}
+
+ModelProxy make_mobilenet_proxy(int input_dim, int num_classes) {
+  return make_mlp_bn("mobilenet", input_dim, num_classes, 192, 300e6, 3.5e6);
+}
+
+ModelProxy make_resnet34_proxy(int input_dim, int num_classes) {
+  const int width = 96;
+  FlatModel m(input_dim, num_classes);
+  m.add(std::make_unique<Linear>(input_dim, width));
+  m.add(std::make_unique<BatchNorm1d>(width));
+  m.add(std::make_unique<ReLU>(width));
+  for (int i = 0; i < 3; ++i) {
+    m.add(std::make_unique<ResidualBlock>(width));
+  }
+  m.add(std::make_unique<Linear>(width, num_classes));
+  m.finalize();
+  return {"resnet34", std::move(m), 3.6e9, 21.8e6};
+}
+
+ModelProxy make_proxy(const std::string& name, int input_dim,
+                      int num_classes) {
+  if (name == "shufflenet") return make_shufflenet_proxy(input_dim, num_classes);
+  if (name == "mobilenet") return make_mobilenet_proxy(input_dim, num_classes);
+  if (name == "resnet34") return make_resnet34_proxy(input_dim, num_classes);
+  GLUEFL_CHECK_MSG(false, "unknown model proxy: " + name);
+  __builtin_unreachable();
+}
+
+}  // namespace gluefl

@@ -1,0 +1,47 @@
+// Model proxies for the three architectures the paper trains.
+//
+// The real models (ShuffleNet-V2, MobileNet-V2, ResNet-34) are substituted
+// with small MLPs that keep the *structural* properties masking cares
+// about — a flat trainable vector with BatchNorm layers (trainable gamma /
+// beta plus non-trainable running statistics) and, for the ResNet proxy,
+// residual blocks. The SIMULATED compute cost (`flops_per_sample`) uses the
+// real architectures' published FLOP counts, so per-round wall-clock
+// composition (Fig. 9) keeps its shape even though the proxy itself is
+// thousands of times cheaper to execute.
+#pragma once
+
+#include <string>
+
+#include "nn/model.h"
+
+namespace gluefl {
+
+struct ModelProxy {
+  std::string name;
+  FlatModel model;
+  /// Simulated forward-pass cost of the *real* architecture, used by the
+  /// network simulator to derive client compute time.
+  double flops_per_sample = 0.0;
+  /// Parameter count of the *real* architecture. The engine scales every
+  /// wire-byte figure by real_params / proxy_params so transfer times and
+  /// reported volumes correspond to shipping the real model while the
+  /// proxy keeps masking positionally exact. 0 disables scaling (tests).
+  double real_params = 0.0;
+};
+
+/// ShuffleNet-V2-like proxy: 2 hidden layers of width 128 with BatchNorm.
+/// Real-model cost: ~146 MFLOPs / sample (ShuffleNet V2 1x, 224x224).
+ModelProxy make_shufflenet_proxy(int input_dim, int num_classes);
+
+/// MobileNet-V2-like proxy: 2 hidden layers of width 192 with BatchNorm.
+/// Real-model cost: ~300 MFLOPs / sample.
+ModelProxy make_mobilenet_proxy(int input_dim, int num_classes);
+
+/// ResNet-34-like proxy: stem + 3 residual blocks of width 96.
+/// Real-model cost: ~3.6 GFLOPs / sample.
+ModelProxy make_resnet34_proxy(int input_dim, int num_classes);
+
+/// Looks up a proxy by name ("shufflenet", "mobilenet", "resnet34").
+ModelProxy make_proxy(const std::string& name, int input_dim, int num_classes);
+
+}  // namespace gluefl

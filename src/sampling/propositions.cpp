@@ -1,0 +1,51 @@
+#include "sampling/propositions.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gluefl {
+
+double uniform_resample_prob(int n, int k, int r) {
+  GLUEFL_CHECK(n > 0 && k > 0 && k <= n && r >= 1);
+  const double ratio = static_cast<double>(k) / n;
+  return ratio * std::pow(1.0 - ratio, r - 1);
+}
+
+double uniform_expected_gap(int n, int k) {
+  GLUEFL_CHECK(n > 0 && k > 0 && k <= n);
+  return static_cast<double>(n) / k;
+}
+
+double sticky_resample_prob(int n, int k, int s, int c, int r) {
+  GLUEFL_CHECK(n > 0 && k > 0 && k <= n && r >= 1);
+  GLUEFL_CHECK(s > 0 && s <= n);
+  GLUEFL_CHECK(c > 0 && c <= k && c <= s);
+  GLUEFL_CHECK_MSG(s >= k, "sticky group must hold at least K clients");
+  GLUEFL_CHECK_MSG(n > s, "need a non-empty non-sticky group");
+  GLUEFL_CHECK_MSG(k > c, "need K > C so the groups exchange members");
+
+  const double nd = n, kd = k, sd = s, cd = c;
+  const double denom = (nd - sd) * kd - (kd - cd) * sd;
+  GLUEFL_CHECK_MSG(denom > 0.0,
+                   "degenerate configuration: (N-S)K must exceed (K-C)S");
+  const double stay_sticky = 1.0 - kd / sd;               // (S-K)/S
+  const double stay_nonsticky = 1.0 - (kd - cd) / (nd - sd);
+  const double term1 =
+      kd * (nd * cd - sd * kd) / sd * std::pow(stay_sticky, r - 1);
+  const double term2 =
+      (kd - cd) * (kd - cd) * std::pow(stay_nonsticky, r - 1);
+  return (term1 + term2) / denom;
+}
+
+int sticky_advantage_horizon(int n, int k, int s, int c) {
+  GLUEFL_CHECK(s > k);
+  const double nd = n, kd = k, sd = s, cd = c;
+  const double num = std::log(cd * nd / (sd * kd));
+  const double den = std::log(sd * (nd - kd) / (nd * (sd - kd)));
+  GLUEFL_CHECK(den > 0.0);
+  if (num <= 0.0) return 1;
+  return 1 + static_cast<int>(std::floor(num / den));
+}
+
+}  // namespace gluefl

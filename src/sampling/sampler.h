@@ -1,0 +1,65 @@
+// Client sampling abstraction.
+//
+// A sampler *invites* candidates for a round. With over-commitment
+// (Bonawitz et al.; §5.1/§5.6 of the paper) the server invites
+// ceil(OC * K) clients and aggregates only the fastest finishers; the
+// split of the extra invitations between the sticky and non-sticky groups
+// is the "OC strategy" studied in Table 3a.
+//
+// Candidates are tagged by group because GlueFL's aggregation weights and
+// the sticky-group rebalance depend on where a participant was drawn from.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gluefl {
+
+/// Invitation for one round, split by group. For uniform samplers the
+/// sticky list is empty and need_sticky == 0.
+struct CandidateSet {
+  std::vector<int> sticky;
+  std::vector<int> nonsticky;
+  /// How many of each group the aggregation wants (C and K - C).
+  int need_sticky = 0;
+  int need_nonsticky = 0;
+
+  int total_invited() const {
+    return static_cast<int>(sticky.size() + nonsticky.size());
+  }
+};
+
+/// Predicate deciding whether a client can be invited this round.
+using AvailabilityFn = std::function<bool(int client)>;
+
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+  virtual std::string name() const = 0;
+
+  /// Draws the round's invitations. `k` is the aggregation target K,
+  /// `overcommit` >= 1 the OC factor.
+  virtual CandidateSet invite(int round, int k, double overcommit, Rng& rng,
+                              const AvailabilityFn& available) = 0;
+
+  /// Informs the sampler which invitees actually participated, per group
+  /// (needed for the sticky-group rebalance; no-op for uniform sampling).
+  virtual void post_round(const std::vector<int>& included_sticky,
+                          const std::vector<int>& included_nonsticky,
+                          Rng& rng) {
+    (void)included_sticky;
+    (void)included_nonsticky;
+    (void)rng;
+  }
+
+  /// True if the client is currently in the sticky group.
+  virtual bool in_sticky_group(int client) const {
+    (void)client;
+    return false;
+  }
+};
+
+}  // namespace gluefl

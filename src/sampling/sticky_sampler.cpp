@@ -1,0 +1,108 @@
+#include "sampling/sticky_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gluefl {
+
+StickySampler::StickySampler(int num_clients, StickyConfig cfg, Rng& init_rng)
+    : num_clients_(num_clients), cfg_(cfg) {
+  GLUEFL_CHECK(num_clients > 0);
+  GLUEFL_CHECK(cfg.group_size > 0 && cfg.group_size <= num_clients);
+  GLUEFL_CHECK(cfg.sticky_per_round > 0 &&
+               cfg.sticky_per_round <= cfg.group_size);
+  // The sticky group starts as a uniformly random S-subset (§3.1).
+  const auto init =
+      init_rng.sample_without_replacement(num_clients, cfg.group_size);
+  sticky_.insert(init.begin(), init.end());
+}
+
+CandidateSet StickySampler::invite(int /*round*/, int k, double overcommit,
+                                   Rng& rng, const AvailabilityFn& available) {
+  GLUEFL_CHECK(k > 0 && k <= num_clients_);
+  GLUEFL_CHECK(cfg_.sticky_per_round <= k);
+  GLUEFL_CHECK(overcommit >= 1.0);
+
+  std::vector<int> sticky_pool;
+  std::vector<int> other_pool;
+  sticky_pool.reserve(sticky_.size());
+  other_pool.reserve(static_cast<size_t>(num_clients_));
+  for (int c = 0; c < num_clients_; ++c) {
+    if (available && !available(c)) continue;
+    if (sticky_.count(c) != 0) {
+      sticky_pool.push_back(c);
+    } else {
+      other_pool.push_back(c);
+    }
+  }
+  // Iteration order of unordered_set must not leak into sampling: pools are
+  // built in client-id order above, so draws depend only on the RNG.
+
+  const int total_extra =
+      static_cast<int>(std::ceil(overcommit * k)) - k;
+  const double frac = cfg_.oc_sticky_fraction >= 0.0
+                          ? cfg_.oc_sticky_fraction
+                          : static_cast<double>(cfg_.sticky_per_round) / k;
+  const int extra_sticky =
+      std::clamp(static_cast<int>(std::lround(total_extra * frac)), 0,
+                 total_extra);
+  const int extra_other = total_extra - extra_sticky;
+
+  CandidateSet out;
+  out.need_sticky = cfg_.sticky_per_round;
+  out.need_nonsticky = k - cfg_.sticky_per_round;
+
+  int want_sticky = cfg_.sticky_per_round + extra_sticky;
+  int want_other = (k - cfg_.sticky_per_round) + extra_other;
+  // Availability shortfall in one pool spills into the other.
+  if (want_sticky > static_cast<int>(sticky_pool.size())) {
+    want_other += want_sticky - static_cast<int>(sticky_pool.size());
+    want_sticky = static_cast<int>(sticky_pool.size());
+  }
+  want_other = std::min<int>(want_other, static_cast<int>(other_pool.size()));
+
+  out.sticky = rng.sample_without_replacement(sticky_pool, want_sticky);
+  out.nonsticky = rng.sample_without_replacement(other_pool, want_other);
+  out.need_sticky = std::min(out.need_sticky, want_sticky);
+  return out;
+}
+
+void StickySampler::post_round(const std::vector<int>& included_sticky,
+                               const std::vector<int>& included_nonsticky,
+                               Rng& rng) {
+  // Algorithm 2 lines 20-21: evict |R| random members of S \ C (sticky
+  // members that did not participate), then admit R. |S| is preserved.
+  if (included_nonsticky.empty()) return;
+  std::vector<int> evictable;
+  evictable.reserve(sticky_.size());
+  std::vector<int> sorted_members(sticky_.begin(), sticky_.end());
+  std::sort(sorted_members.begin(), sorted_members.end());
+  for (int c : sorted_members) {
+    const bool participated =
+        std::find(included_sticky.begin(), included_sticky.end(), c) !=
+        included_sticky.end();
+    if (!participated) evictable.push_back(c);
+  }
+  const int n_swap =
+      std::min<int>(static_cast<int>(included_nonsticky.size()),
+                    static_cast<int>(evictable.size()));
+  const auto evicted = rng.sample_without_replacement(evictable, n_swap);
+  for (int c : evicted) sticky_.erase(c);
+  for (int i = 0; i < n_swap; ++i) {
+    sticky_.insert(included_nonsticky[static_cast<size_t>(i)]);
+  }
+}
+
+bool StickySampler::in_sticky_group(int client) const {
+  return sticky_.count(client) != 0;
+}
+
+std::vector<int> StickySampler::sticky_members() const {
+  std::vector<int> out(sticky_.begin(), sticky_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace gluefl

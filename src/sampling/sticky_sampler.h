@@ -1,0 +1,49 @@
+// Sticky sampling (paper §3.1, Algorithm 2).
+//
+// The server maintains a sticky group S of size S. Each round it samples
+// C participants from S and K - C from the complement; at the end of the
+// round it evicts K - C random members of S that did not participate and
+// admits the round's non-sticky participants, keeping |S| constant.
+//
+// Over-commitment extras are split between the groups according to
+// `oc_sticky_fraction` (Table 3a's "OC strategy"); a negative value selects
+// the paper's default proportional split C/K.
+#pragma once
+
+#include <unordered_set>
+
+#include "sampling/sampler.h"
+
+namespace gluefl {
+
+struct StickyConfig {
+  int group_size = 0;       // S
+  int sticky_per_round = 0; // C
+  /// Fraction of the over-commitment extras drawn from the sticky group;
+  /// negative = proportional (C/K), the paper's default.
+  double oc_sticky_fraction = -1.0;
+};
+
+class StickySampler final : public Sampler {
+ public:
+  StickySampler(int num_clients, StickyConfig cfg, Rng& init_rng);
+
+  std::string name() const override { return "sticky"; }
+  CandidateSet invite(int round, int k, double overcommit, Rng& rng,
+                      const AvailabilityFn& available) override;
+  void post_round(const std::vector<int>& included_sticky,
+                  const std::vector<int>& included_nonsticky,
+                  Rng& rng) override;
+  bool in_sticky_group(int client) const override;
+
+  const StickyConfig& config() const { return cfg_; }
+  int group_size() const { return static_cast<int>(sticky_.size()); }
+  std::vector<int> sticky_members() const;  // sorted, for tests
+
+ private:
+  int num_clients_;
+  StickyConfig cfg_;
+  std::unordered_set<int> sticky_;
+};
+
+}  // namespace gluefl

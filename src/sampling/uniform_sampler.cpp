@@ -1,0 +1,30 @@
+#include "sampling/uniform_sampler.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gluefl {
+
+UniformSampler::UniformSampler(int num_clients) : num_clients_(num_clients) {
+  GLUEFL_CHECK(num_clients > 0);
+}
+
+CandidateSet UniformSampler::invite(int /*round*/, int k, double overcommit,
+                                    Rng& rng, const AvailabilityFn& available) {
+  GLUEFL_CHECK(k > 0 && k <= num_clients_);
+  GLUEFL_CHECK(overcommit >= 1.0);
+  std::vector<int> pool;
+  pool.reserve(static_cast<size_t>(num_clients_));
+  for (int c = 0; c < num_clients_; ++c) {
+    if (!available || available(c)) pool.push_back(c);
+  }
+  const int want = static_cast<int>(std::ceil(overcommit * k));
+  const int n = std::min<int>(want, static_cast<int>(pool.size()));
+  CandidateSet out;
+  out.nonsticky = rng.sample_without_replacement(pool, n);
+  out.need_nonsticky = k;
+  return out;
+}
+
+}  // namespace gluefl

@@ -1,0 +1,117 @@
+#include "strategies/apf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "compress/bitmask.h"
+#include "compress/encoding.h"
+#include "tensor/ops.h"
+
+namespace gluefl {
+
+ApfStrategy::ApfStrategy(ApfConfig cfg) : cfg_(cfg) {
+  GLUEFL_CHECK(cfg.threshold > 0.0 && cfg.threshold < 1.0);
+  GLUEFL_CHECK(cfg.check_every >= 1);
+  GLUEFL_CHECK(cfg.base_freeze >= 1 && cfg.max_freeze >= cfg.base_freeze);
+}
+
+void ApfStrategy::init(SimEngine& engine) {
+  sampler_ = std::make_unique<UniformSampler>(engine.num_clients());
+  dim_ = engine.dim();
+  acc_sum_.assign(dim_, 0.0f);
+  acc_abs_.assign(dim_, 0.0f);
+  frozen_until_.assign(dim_, 0);
+  freeze_period_.assign(dim_, cfg_.base_freeze);
+}
+
+double ApfStrategy::frozen_fraction(int round) const {
+  size_t frozen = 0;
+  for (int until : frozen_until_) {
+    if (until > round) ++frozen;
+  }
+  return dim_ == 0 ? 0.0
+                   : static_cast<double>(frozen) / static_cast<double>(dim_);
+}
+
+void ApfStrategy::run_round(SimEngine& engine, int round, RoundRecord& rec) {
+  Rng rng = engine.round_rng(round, /*purpose=*/0);
+  CandidateSet cand =
+      sampler_->invite(round, engine.clients_per_round(),
+                       engine.run_config().overcommit, rng,
+                       engine.availability_fn(round));
+
+  const size_t dim = dim_;
+  BitMask active(dim);
+  for (size_t j = 0; j < dim; ++j) {
+    if (frozen_until_[j] <= round) active.set(j);
+  }
+  const size_t k_active = active.count();
+
+  const size_t sb = engine.stat_bytes();
+  // Clients must learn the current frozen set: one bitmap per download.
+  const size_t mask_bytes = active.wire_bytes();
+  auto down = [&engine, round, sb, mask_bytes](int c) {
+    return engine.sync().sync_bytes(c, round) + mask_bytes + sb;
+  };
+  // Upload carries only active coordinates; positions are implied by the
+  // mask both sides hold.
+  const size_t up_bytes = values_only_bytes(k_active) + sb;
+  auto up = [up_bytes](int) { return up_bytes; };
+  const Participation part =
+      engine.simulate_participation(round, cand, down, up, rec);
+  const std::vector<int> included = part.all();
+
+  BitMask changed(dim);
+  if (!included.empty() && k_active > 0) {
+    auto results = engine.local_train(included, round);
+    std::vector<float> agg(dim, 0.0f);
+    std::vector<float> stat_agg(engine.stat_dim(), 0.0f);
+    const double n = engine.num_clients();
+    const double khat = static_cast<double>(included.size());
+    double loss_sum = 0.0;
+    for (size_t i = 0; i < included.size(); ++i) {
+      const double nu = n / khat * engine.client_weight(included[i]);
+      const std::vector<float>& delta = results[i].delta;
+      // Only active coordinates are transmitted / aggregated.
+      active.for_each_set([&](size_t j) {
+        agg[j] += static_cast<float>(nu) * delta[j];
+      });
+      axpy(static_cast<float>(1.0 / khat), results[i].stat_delta.data(),
+           stat_agg.data(), engine.stat_dim());
+      loss_sum += results[i].loss;
+    }
+    float* params = engine.params().data();
+    active.for_each_set([&](size_t j) {
+      params[j] += agg[j];
+      acc_sum_[j] += agg[j];
+      acc_abs_[j] += std::fabs(agg[j]);
+    });
+    axpy(1.0f, stat_agg.data(), engine.stats().data(), engine.stat_dim());
+    changed = active;
+    rec.train_loss = loss_sum / khat;
+  }
+  rec.changed_frac =
+      static_cast<double>(changed.count()) / static_cast<double>(dim);
+  engine.sync().record_round_changes(round, changed);
+
+  // Periodic stability check over the window just completed.
+  if (round > 0 && (round + 1) % cfg_.check_every == 0) {
+    constexpr float kEps = 1e-12f;
+    for (size_t j = 0; j < dim; ++j) {
+      if (frozen_until_[j] > round) continue;  // still frozen: skip
+      if (acc_abs_[j] <= kEps) continue;       // no signal this window
+      const float ep = std::fabs(acc_sum_[j]) / (acc_abs_[j] + kEps);
+      if (ep < static_cast<float>(cfg_.threshold)) {
+        frozen_until_[j] = round + 1 + freeze_period_[j];
+        freeze_period_[j] = std::min(freeze_period_[j] * 2, cfg_.max_freeze);
+      } else {
+        freeze_period_[j] = cfg_.base_freeze;
+      }
+      acc_sum_[j] = 0.0f;
+      acc_abs_[j] = 0.0f;
+    }
+  }
+}
+
+}  // namespace gluefl

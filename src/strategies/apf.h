@@ -1,0 +1,60 @@
+// Adaptive Parameter Freezing (Chen et al., ICDCS 2021).
+//
+// The server tracks, per parameter, the "effective perturbation" of the
+// aggregated updates over a sliding window:
+//
+//     EP_j = | sum_t delta_j^t | / sum_t |delta_j^t|
+//
+// Every `check_every` rounds, parameters whose EP fell below `threshold`
+// are considered converged and FROZEN for a period; each consecutive
+// stable verdict doubles the freezing period (TCP-style backoff, capped),
+// while an unstable verdict resets it. Frozen parameters are neither
+// uploaded nor updated, so the per-round changed set is the active
+// (unfrozen) set — which both saves bandwidth and, like STC, varies over
+// time, leaving stale clients with large re-downloads.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fl/engine.h"
+#include "fl/strategy.h"
+#include "sampling/uniform_sampler.h"
+
+namespace gluefl {
+
+struct ApfConfig {
+  /// Effective-perturbation threshold below which a parameter freezes
+  /// (paper §5.1 sets 0.1 for all tasks).
+  double threshold = 0.1;
+  /// Stability check cadence in rounds.
+  int check_every = 5;
+  /// Initial freezing period (rounds); doubles per consecutive stable
+  /// verdict up to max_freeze.
+  int base_freeze = 5;
+  int max_freeze = 80;
+};
+
+class ApfStrategy final : public Strategy {
+ public:
+  explicit ApfStrategy(ApfConfig cfg);
+
+  std::string name() const override { return "apf"; }
+  const ApfConfig& config() const { return cfg_; }
+  void init(SimEngine& engine) override;
+  void run_round(SimEngine& engine, int round, RoundRecord& rec) override;
+
+  /// Fraction of parameters currently frozen (for tests / diagnostics).
+  double frozen_fraction(int round) const;
+
+ private:
+  ApfConfig cfg_;
+  std::unique_ptr<UniformSampler> sampler_;
+  std::vector<float> acc_sum_;    // per-param sum of aggregated updates
+  std::vector<float> acc_abs_;    // per-param sum of |aggregated updates|
+  std::vector<int> frozen_until_; // round before which the param is frozen
+  std::vector<int> freeze_period_;
+  size_t dim_ = 0;
+};
+
+}  // namespace gluefl

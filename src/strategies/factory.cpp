@@ -1,0 +1,66 @@
+#include "strategies/factory.h"
+
+#include "common/check.h"
+
+namespace gluefl {
+
+double default_mask_ratio(const std::string& model_name) {
+  if (model_name == "shufflenet") return 0.20;
+  return 0.30;  // MobileNet, ResNet-34
+}
+
+double default_shared_ratio(const std::string& model_name) {
+  if (model_name == "shufflenet") return 0.16;
+  return 0.24;
+}
+
+GlueFlConfig default_gluefl_config(int clients_per_round,
+                                   const std::string& model_name) {
+  GlueFlConfig cfg;
+  cfg.q = default_mask_ratio(model_name);
+  cfg.q_shr = default_shared_ratio(model_name);
+  cfg.regen_every = 10;
+  cfg.sticky_group_size = 4 * clients_per_round;
+  cfg.sticky_per_round = 4 * clients_per_round / 5;
+  return cfg;
+}
+
+GlueFlConfig calibrated_gluefl_config(int clients_per_round,
+                                      const std::string& model_name) {
+  GlueFlConfig cfg = default_gluefl_config(clients_per_round, model_name);
+  cfg.sticky_per_round = 3 * clients_per_round / 5;
+  cfg.q_shr = 0.4 * cfg.q;
+  return cfg;
+}
+
+StcConfig default_stc_config(const std::string& model_name) {
+  StcConfig cfg;
+  cfg.q = default_mask_ratio(model_name);
+  return cfg;
+}
+
+std::unique_ptr<Strategy> make_strategy(const std::string& strategy_name,
+                                        int clients_per_round,
+                                        const std::string& model_name) {
+  if (strategy_name == "fedavg") {
+    return std::make_unique<FedAvgStrategy>();
+  }
+  if (strategy_name == "stc") {
+    return std::make_unique<StcStrategy>(default_stc_config(model_name));
+  }
+  if (strategy_name == "apf") {
+    return std::make_unique<ApfStrategy>(ApfConfig{});
+  }
+  if (strategy_name == "gluefl") {
+    return std::make_unique<GlueFlStrategy>(
+        calibrated_gluefl_config(clients_per_round, model_name));
+  }
+  if (strategy_name == "gluefl-paper") {
+    return std::make_unique<GlueFlStrategy>(
+        default_gluefl_config(clients_per_round, model_name));
+  }
+  GLUEFL_CHECK_MSG(false, "unknown strategy: " + strategy_name);
+  __builtin_unreachable();
+}
+
+}  // namespace gluefl

@@ -1,0 +1,56 @@
+#include "strategies/fedavg.h"
+
+#include "common/check.h"
+#include "compress/encoding.h"
+#include "tensor/ops.h"
+
+namespace gluefl {
+
+void FedAvgStrategy::init(SimEngine& engine) {
+  sampler_ = std::make_unique<UniformSampler>(engine.num_clients());
+}
+
+void FedAvgStrategy::run_round(SimEngine& engine, int round,
+                               RoundRecord& rec) {
+  Rng rng = engine.round_rng(round, /*purpose=*/0);
+  CandidateSet cand =
+      sampler_->invite(round, engine.clients_per_round(),
+                       engine.run_config().overcommit, rng,
+                       engine.availability_fn(round));
+
+  const size_t sb = engine.stat_bytes();
+  auto down = [&engine, round, sb](int c) {
+    return engine.sync().sync_bytes(c, round) + sb;
+  };
+  auto up = [&engine, sb](int) { return dense_bytes(engine.dim()) + sb; };
+  const Participation part =
+      engine.simulate_participation(round, cand, down, up, rec);
+  const std::vector<int> included = part.all();
+
+  BitMask changed(engine.dim());
+  if (!included.empty()) {
+    const auto results = engine.local_train(included, round);
+    std::vector<float> agg(engine.dim(), 0.0f);
+    std::vector<float> stat_agg(engine.stat_dim(), 0.0f);
+    const double n = engine.num_clients();
+    const double khat = static_cast<double>(included.size());
+    double loss_sum = 0.0;
+    for (size_t i = 0; i < included.size(); ++i) {
+      const double nu = n / khat * engine.client_weight(included[i]);
+      axpy(static_cast<float>(nu), results[i].delta.data(), agg.data(),
+           engine.dim());
+      axpy(static_cast<float>(1.0 / khat), results[i].stat_delta.data(),
+           stat_agg.data(), engine.stat_dim());
+      loss_sum += results[i].loss;
+    }
+    axpy(1.0f, agg.data(), engine.params().data(), engine.dim());
+    axpy(1.0f, stat_agg.data(), engine.stats().data(), engine.stat_dim());
+    rec.train_loss = loss_sum / khat;
+    changed.set_all();  // dense update: every position may have moved
+  }
+  rec.changed_frac =
+      static_cast<double>(changed.count()) / static_cast<double>(engine.dim());
+  engine.sync().record_round_changes(round, changed);
+}
+
+}  // namespace gluefl

@@ -1,0 +1,29 @@
+// FedAvg (McMahan et al., 2017) with uniform client sampling and
+// over-commitment — the paper's uncompressed baseline.
+//
+// Aggregation follows Eq. (2): w <- w + (N/K) * sum_{i in K} p_i * Delta_i.
+// Every round changes (potentially) every position, so the changed-position
+// bitmap is all-ones and every invitee downloads the full stale diff.
+#pragma once
+
+#include <memory>
+
+#include "fl/engine.h"
+#include "fl/strategy.h"
+#include "sampling/uniform_sampler.h"
+
+namespace gluefl {
+
+class FedAvgStrategy final : public Strategy {
+ public:
+  FedAvgStrategy() = default;
+
+  std::string name() const override { return "fedavg"; }
+  void init(SimEngine& engine) override;
+  void run_round(SimEngine& engine, int round, RoundRecord& rec) override;
+
+ private:
+  std::unique_ptr<UniformSampler> sampler_;
+};
+
+}  // namespace gluefl

@@ -1,0 +1,186 @@
+#include "data/federated_dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/presets.h"
+
+namespace gluefl {
+namespace {
+
+SyntheticSpec small_spec() {
+  SyntheticSpec s;
+  s.num_clients = 50;
+  s.num_classes = 5;
+  s.feature_dim = 8;
+  s.test_samples = 100;
+  s.min_samples = 10;
+  s.max_samples = 80;
+  s.seed = 3;
+  return s;
+}
+
+TEST(Data, ShapesAreConsistent) {
+  const auto ds = make_synthetic_dataset(small_spec());
+  EXPECT_EQ(ds.num_clients(), 50);
+  size_t total = 0;
+  for (const auto& c : ds.clients) {
+    EXPECT_EQ(c.x.size(), static_cast<size_t>(c.n) * 8);
+    EXPECT_EQ(c.y.size(), static_cast<size_t>(c.n));
+    total += static_cast<size_t>(c.n);
+  }
+  EXPECT_EQ(ds.total_samples, total);
+  EXPECT_EQ(ds.test_x.size(), 100u * 8);
+  EXPECT_EQ(ds.test_y.size(), 100u);
+}
+
+TEST(Data, ClientSizesWithinBounds) {
+  const auto ds = make_synthetic_dataset(small_spec());
+  for (const auto& c : ds.clients) {
+    EXPECT_GE(c.n, 10);
+    EXPECT_LE(c.n, 80);
+  }
+}
+
+TEST(Data, LabelsInRange) {
+  const auto ds = make_synthetic_dataset(small_spec());
+  for (const auto& c : ds.clients) {
+    for (int y : c.y) {
+      EXPECT_GE(y, 0);
+      EXPECT_LT(y, 5);
+    }
+  }
+  for (int y : ds.test_y) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 5);
+  }
+}
+
+TEST(Data, WeightsSumToOne) {
+  const auto ds = make_synthetic_dataset(small_spec());
+  double s = 0.0;
+  for (double p : ds.p) {
+    EXPECT_GT(p, 0.0);
+    s += p;
+  }
+  EXPECT_NEAR(s, 1.0, 1e-9);
+}
+
+TEST(Data, WeightsProportionalToSize) {
+  const auto ds = make_synthetic_dataset(small_spec());
+  for (int i = 0; i < ds.num_clients(); ++i) {
+    EXPECT_NEAR(ds.p[static_cast<size_t>(i)],
+                static_cast<double>(ds.clients[static_cast<size_t>(i)].n) /
+                    static_cast<double>(ds.total_samples),
+                1e-12);
+  }
+}
+
+TEST(Data, DeterministicInSeed) {
+  const auto a = make_synthetic_dataset(small_spec());
+  const auto b = make_synthetic_dataset(small_spec());
+  ASSERT_EQ(a.num_clients(), b.num_clients());
+  for (int i = 0; i < a.num_clients(); ++i) {
+    EXPECT_EQ(a.clients[static_cast<size_t>(i)].x,
+              b.clients[static_cast<size_t>(i)].x);
+    EXPECT_EQ(a.clients[static_cast<size_t>(i)].y,
+              b.clients[static_cast<size_t>(i)].y);
+  }
+  EXPECT_EQ(a.test_x, b.test_x);
+}
+
+TEST(Data, DifferentSeedsProduceDifferentData) {
+  auto spec = small_spec();
+  const auto a = make_synthetic_dataset(spec);
+  spec.seed = 4;
+  const auto b = make_synthetic_dataset(spec);
+  EXPECT_NE(a.clients[0].x, b.clients[0].x);
+}
+
+TEST(Data, TestSetIsClassBalanced) {
+  const auto ds = make_synthetic_dataset(small_spec());
+  std::vector<int> counts(5, 0);
+  for (int y : ds.test_y) ++counts[static_cast<size_t>(y)];
+  for (int c : counts) EXPECT_EQ(c, 20);
+}
+
+TEST(Data, SmallAlphaIsMoreHeterogeneous) {
+  // Measure label concentration: mean max class share per client.
+  auto concentration = [](const FederatedDataset& ds) {
+    double acc = 0.0;
+    for (const auto& c : ds.clients) {
+      std::vector<int> counts(static_cast<size_t>(ds.spec.num_classes), 0);
+      for (int y : c.y) ++counts[static_cast<size_t>(y)];
+      acc += static_cast<double>(*std::max_element(counts.begin(),
+                                                   counts.end())) /
+             c.n;
+    }
+    return acc / ds.num_clients();
+  };
+  auto spec = small_spec();
+  spec.dirichlet_alpha = 0.1;
+  const double hetero = concentration(make_synthetic_dataset(spec));
+  spec.dirichlet_alpha = 50.0;
+  const double homo = concentration(make_synthetic_dataset(spec));
+  EXPECT_GT(hetero, homo + 0.2);
+}
+
+TEST(Data, LabelNoiseFlipsSomeLabels) {
+  auto spec = small_spec();
+  spec.label_noise = 0.0;
+  const auto clean = make_synthetic_dataset(spec);
+  spec.label_noise = 0.5;
+  const auto noisy = make_synthetic_dataset(spec);
+  int diffs = 0;
+  int n = 0;
+  for (int i = 0; i < clean.num_clients(); ++i) {
+    const auto& a = clean.clients[static_cast<size_t>(i)];
+    const auto& b = noisy.clients[static_cast<size_t>(i)];
+    ASSERT_EQ(a.n, b.n);
+    for (int s = 0; s < a.n; ++s) {
+      if (a.y[static_cast<size_t>(s)] != b.y[static_cast<size_t>(s)]) ++diffs;
+      ++n;
+    }
+  }
+  // 50% flip probability to a uniform class (which may repeat the original):
+  // expect ~40% disagreement.
+  EXPECT_GT(static_cast<double>(diffs) / n, 0.25);
+}
+
+TEST(DataPresets, MatchPaperPopulations) {
+  EXPECT_EQ(femnist_spec().num_clients, 2800);
+  EXPECT_EQ(femnist_spec().num_classes, 62);
+  EXPECT_EQ(openimage_spec().num_clients, 10625);
+  EXPECT_EQ(speech_spec().num_clients, 2066);
+  EXPECT_EQ(speech_spec().num_classes, 35);
+}
+
+TEST(DataPresets, PaperRoundSizes) {
+  EXPECT_EQ(preset_clients_per_round(femnist_spec()), 30);
+  EXPECT_EQ(preset_clients_per_round(openimage_spec()), 100);
+  EXPECT_EQ(preset_clients_per_round(speech_spec()), 30);
+}
+
+TEST(DataPresets, TopkMetric) {
+  EXPECT_EQ(preset_topk(femnist_spec()), 1);
+  EXPECT_EQ(preset_topk(openimage_spec()), 5);
+}
+
+TEST(DataPresets, ScaleShrinksPopulation) {
+  const auto s = femnist_spec(0.1);
+  EXPECT_EQ(s.num_clients, 280);
+  EXPECT_EQ(s.num_classes, 62);  // class count unaffected by scale
+}
+
+TEST(DataPresets, MinSamplesRespectsFedScaleCutoff) {
+  // FedScale removes clients with < 22 samples; presets clip to >= 22.
+  const auto ds = make_synthetic_dataset(femnist_spec(0.05));
+  for (const auto& c : ds.clients) EXPECT_GE(c.n, 22);
+}
+
+}  // namespace
+}  // namespace gluefl

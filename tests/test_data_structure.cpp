@@ -1,0 +1,152 @@
+// Tests for the gradient-structure knobs of the synthetic generator
+// (sparse class prototypes + power-law feature scales) that DESIGN.md §6
+// introduces to give the task temporally stable top-k gradient support.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "data/federated_dataset.h"
+#include "data/presets.h"
+
+namespace gluefl {
+namespace {
+
+SyntheticSpec base_spec() {
+  SyntheticSpec s;
+  s.num_clients = 40;
+  s.num_classes = 8;
+  s.feature_dim = 32;
+  s.test_samples = 800;
+  s.min_samples = 10;
+  s.max_samples = 50;
+  s.seed = 9;
+  return s;
+}
+
+// Per-feature variance of the test set (signal + noise).
+std::vector<double> feature_variance(const FederatedDataset& ds) {
+  const int d = ds.spec.feature_dim;
+  const int n = static_cast<int>(ds.test_y.size());
+  std::vector<double> mean(static_cast<size_t>(d), 0.0);
+  std::vector<double> var(static_cast<size_t>(d), 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) {
+      mean[static_cast<size_t>(j)] += ds.test_x[static_cast<size_t>(i) * d + j];
+    }
+  }
+  for (auto& m : mean) m /= n;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) {
+      const double e = ds.test_x[static_cast<size_t>(i) * d + j] -
+                       mean[static_cast<size_t>(j)];
+      var[static_cast<size_t>(j)] += e * e;
+    }
+  }
+  for (auto& v : var) v /= n;
+  return var;
+}
+
+TEST(DataStructure, FeatureDecayConcentratesVariance) {
+  auto spec = base_spec();
+  spec.feature_decay = 1.0;
+  spec.proto_sparsity = 1.0;
+  const auto ds = make_synthetic_dataset(spec);
+  const auto var = feature_variance(ds);
+  double head = 0.0, tail = 0.0;
+  for (int j = 0; j < 8; ++j) head += var[static_cast<size_t>(j)];
+  for (int j = 24; j < 32; ++j) tail += var[static_cast<size_t>(j)];
+  EXPECT_GT(head, 4.0 * tail);
+}
+
+TEST(DataStructure, NoDecayMeansFlatVariance) {
+  auto spec = base_spec();
+  spec.feature_decay = 0.0;
+  spec.proto_sparsity = 1.0;
+  const auto ds = make_synthetic_dataset(spec);
+  const auto var = feature_variance(ds);
+  double head = 0.0, tail = 0.0;
+  for (int j = 0; j < 8; ++j) head += var[static_cast<size_t>(j)];
+  for (int j = 24; j < 32; ++j) tail += var[static_cast<size_t>(j)];
+  EXPECT_LT(head, 2.0 * tail);
+  EXPECT_GT(head, 0.5 * tail);
+}
+
+TEST(DataStructure, SparsityLimitsInformativeFeatures) {
+  // With sparse prototypes and no decay, features outside every class's
+  // support carry only noise: their class-conditional means are ~equal.
+  auto spec = base_spec();
+  spec.proto_sparsity = 0.25;
+  spec.noise_sd = 0.1;  // weak noise exposes the prototype structure
+  const auto ds = make_synthetic_dataset(spec);
+  const int d = spec.feature_dim;
+  int informative = 0;
+  for (int j = 0; j < d; ++j) {
+    // Spread of class-conditional means on feature j over the test set.
+    std::vector<double> mean(static_cast<size_t>(spec.num_classes), 0.0);
+    std::vector<int> count(static_cast<size_t>(spec.num_classes), 0);
+    for (size_t i = 0; i < ds.test_y.size(); ++i) {
+      mean[static_cast<size_t>(ds.test_y[i])] +=
+          ds.test_x[i * static_cast<size_t>(d) + static_cast<size_t>(j)];
+      ++count[static_cast<size_t>(ds.test_y[i])];
+    }
+    double lo = 1e30, hi = -1e30;
+    for (int c = 0; c < spec.num_classes; ++c) {
+      const double m = mean[static_cast<size_t>(c)] /
+                       std::max(1, count[static_cast<size_t>(c)]);
+      lo = std::min(lo, m);
+      hi = std::max(hi, m);
+    }
+    if (hi - lo > 0.5) ++informative;
+  }
+  // 8 classes x 8-feature support each, overlapping: well below d features
+  // can be informative, and certainly not all of them.
+  EXPECT_LT(informative, d);
+  EXPECT_GT(informative, 4);
+}
+
+TEST(DataStructure, DecayPreservesLearnability) {
+  // Scaling signal and noise together must keep the task learnable: the
+  // class-balanced test set still has distinct class means on the strong
+  // shared features.
+  auto spec = base_spec();
+  spec.feature_decay = 0.7;
+  spec.proto_sparsity = 0.25;
+  const auto ds = make_synthetic_dataset(spec);
+  // Feature 0 is in every class's shared support half.
+  std::vector<double> mean(static_cast<size_t>(spec.num_classes), 0.0);
+  std::vector<int> count(static_cast<size_t>(spec.num_classes), 0);
+  for (size_t i = 0; i < ds.test_y.size(); ++i) {
+    mean[static_cast<size_t>(ds.test_y[i])] +=
+        ds.test_x[i * static_cast<size_t>(spec.feature_dim)];
+    ++count[static_cast<size_t>(ds.test_y[i])];
+  }
+  double lo = 1e30, hi = -1e30;
+  for (int c = 0; c < spec.num_classes; ++c) {
+    const double m = mean[static_cast<size_t>(c)] /
+                     std::max(1, count[static_cast<size_t>(c)]);
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+  }
+  EXPECT_GT(hi - lo, 0.5);
+}
+
+TEST(DataStructure, InvalidKnobsRejected) {
+  auto spec = base_spec();
+  spec.proto_sparsity = 0.0;
+  EXPECT_THROW(make_synthetic_dataset(spec), CheckError);
+  spec = base_spec();
+  spec.feature_decay = -0.5;
+  EXPECT_THROW(make_synthetic_dataset(spec), CheckError);
+}
+
+TEST(DataStructure, PresetsEnableBothKnobs) {
+  EXPECT_GT(femnist_spec().feature_decay, 0.0);
+  EXPECT_LT(femnist_spec().proto_sparsity, 1.0);
+  EXPECT_GT(speech_spec().feature_decay, 0.0);
+  EXPECT_GT(openimage_spec().feature_decay, 0.0);
+}
+
+}  // namespace
+}  // namespace gluefl

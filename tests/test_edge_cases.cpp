@@ -1,0 +1,195 @@
+// Failure-injection and boundary-condition tests across the stack.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "data/federated_dataset.h"
+#include "fl/engine.h"
+#include "strategies/apf.h"
+#include "strategies/fedavg.h"
+#include "strategies/gluefl.h"
+#include "strategies/stc.h"
+#include "test_util.h"
+
+namespace gluefl {
+namespace {
+
+using testing::tiny_proxy;
+using testing::tiny_run_config;
+using testing::tiny_spec;
+using testing::tiny_train_config;
+
+TEST(EdgeCases, SingleClientPerRound) {
+  auto rc = tiny_run_config(6, /*k=*/1, 42);
+  SimEngine eng(make_synthetic_dataset(tiny_spec()), tiny_proxy(),
+                make_datacenter_env(), tiny_train_config(), rc);
+  FedAvgStrategy s;
+  const auto res = eng.run(s);
+  for (const auto& r : res.rounds) EXPECT_EQ(r.num_included, 1);
+}
+
+TEST(EdgeCases, KEqualsN) {
+  auto spec = tiny_spec(/*clients=*/8);
+  auto rc = tiny_run_config(4, /*k=*/8, 42);
+  SimEngine eng(make_synthetic_dataset(spec), tiny_proxy(),
+                make_datacenter_env(), tiny_train_config(), rc);
+  FedAvgStrategy s;
+  const auto res = eng.run(s);
+  // Full participation: everyone synced every round, so from round 1 the
+  // mean staleness of participants is exactly 1.
+  EXPECT_EQ(res.rounds[3].num_included, 8);
+  EXPECT_DOUBLE_EQ(res.rounds[3].mean_staleness, 1.0);
+}
+
+TEST(EdgeCases, StcWithQNearOne) {
+  auto eng = SimEngine(make_synthetic_dataset(tiny_spec()), tiny_proxy(),
+                       make_datacenter_env(), tiny_train_config(),
+                       tiny_run_config(6, 6, 42));
+  StcStrategy s(StcConfig{.q = 1.0, .error_feedback = false});
+  const auto res = eng.run(s);
+  // q = 1: every coordinate of the aggregate is kept.
+  for (const auto& r : res.rounds) {
+    EXPECT_DOUBLE_EQ(r.changed_frac, 1.0);
+  }
+}
+
+TEST(EdgeCases, StcWithTinyQ) {
+  auto eng = SimEngine(make_synthetic_dataset(tiny_spec()), tiny_proxy(),
+                       make_datacenter_env(), tiny_train_config(),
+                       tiny_run_config(6, 6, 42));
+  StcStrategy s(StcConfig{.q = 1e-6, .error_feedback = true});
+  const auto res = eng.run(s);
+  // k clamps to 1 coordinate.
+  for (const auto& r : res.rounds) {
+    EXPECT_NEAR(r.changed_frac, 1.0 / eng.dim(), 1e-9);
+  }
+}
+
+TEST(EdgeCases, ApfFreezePeriodIsCapped) {
+  ApfConfig cfg;
+  cfg.threshold = 0.95;  // freeze almost everything at every check
+  cfg.check_every = 2;
+  cfg.base_freeze = 2;
+  cfg.max_freeze = 4;
+  auto eng = SimEngine(make_synthetic_dataset(tiny_spec()), tiny_proxy(),
+                       make_datacenter_env(), tiny_train_config(),
+                       tiny_run_config(40, 6, 42));
+  ApfStrategy s(cfg);
+  const auto res = eng.run(s);
+  // With a 4-round cap, no parameter can stay frozen forever: the changed
+  // fraction must recover repeatedly.
+  int active_rounds = 0;
+  for (const auto& r : res.rounds) {
+    if (r.changed_frac > 0.3) ++active_rounds;
+  }
+  EXPECT_GT(active_rounds, 5);
+}
+
+TEST(EdgeCases, GlueFlWithAlmostAllSticky) {
+  // C = K - 1: only one fresh client per round.
+  GlueFlConfig cfg;
+  cfg.q = 0.2;
+  cfg.q_shr = 0.1;
+  cfg.sticky_group_size = 12;
+  cfg.sticky_per_round = 5;
+  auto eng = SimEngine(make_synthetic_dataset(tiny_spec()), tiny_proxy(),
+                       make_datacenter_env(), tiny_train_config(),
+                       tiny_run_config(10, 6, 42));
+  GlueFlStrategy s(cfg);
+  const auto res = eng.run(s);
+  EXPECT_GT(res.best_accuracy(), 0.25);
+}
+
+TEST(EdgeCases, GlueFlTinySharedMask) {
+  GlueFlConfig cfg;
+  cfg.q = 0.2;
+  cfg.q_shr = 0.001;  // nearly pure unique updates
+  cfg.sticky_group_size = 24;
+  cfg.sticky_per_round = 4;
+  auto eng = SimEngine(make_synthetic_dataset(tiny_spec()), tiny_proxy(),
+                       make_datacenter_env(), tiny_train_config(),
+                       tiny_run_config(10, 6, 42));
+  GlueFlStrategy s(cfg);
+  EXPECT_NO_THROW(eng.run(s));
+}
+
+TEST(EdgeCases, HarshAvailabilityStillMakesProgress) {
+  // Edge environment with churn: rounds where the sticky pool thins out
+  // must spill into the non-sticky pool without crashing or stalling.
+  auto env = make_edge_env();
+  env.availability = 0.3;
+  env.mean_on_rounds = 4;
+  env.mean_off_rounds = 9;
+  auto rc = tiny_run_config(20, 6, 42);
+  rc.use_availability = true;
+  SimEngine eng(make_synthetic_dataset(tiny_spec()), tiny_proxy(), env,
+                tiny_train_config(), rc);
+  GlueFlConfig cfg;
+  cfg.q = 0.2;
+  cfg.q_shr = 0.1;
+  cfg.sticky_group_size = 24;
+  cfg.sticky_per_round = 4;
+  GlueFlStrategy s(cfg);
+  const auto res = eng.run(s);
+  int participated = 0;
+  for (const auto& r : res.rounds) participated += r.num_included;
+  EXPECT_GT(participated, 20);
+}
+
+TEST(EdgeCases, ClientWithMinimumSamplesTrains) {
+  auto spec = tiny_spec();
+  spec.min_samples = 2;
+  spec.max_samples = 3;  // tiny shards, smaller than the batch size
+  auto rc = tiny_run_config(4, 6, 42);
+  SimEngine eng(make_synthetic_dataset(spec), tiny_proxy(),
+                make_datacenter_env(), tiny_train_config(), rc);
+  const auto results = eng.local_train({0, 1}, 0);
+  for (const auto& r : results) {
+    EXPECT_TRUE(std::isfinite(r.loss));
+    EXPECT_LE(r.n_samples, 3);
+  }
+}
+
+TEST(EdgeCases, ZeroRoundsRejected) {
+  auto rc = tiny_run_config(0, 6, 42);
+  EXPECT_THROW(SimEngine(make_synthetic_dataset(tiny_spec()), tiny_proxy(),
+                         make_datacenter_env(), tiny_train_config(), rc),
+               CheckError);
+}
+
+TEST(EdgeCases, KLargerThanNRejected) {
+  auto rc = tiny_run_config(4, /*k=*/100, 42);
+  EXPECT_THROW(SimEngine(make_synthetic_dataset(tiny_spec(60)), tiny_proxy(),
+                         make_datacenter_env(), tiny_train_config(), rc),
+               CheckError);
+}
+
+TEST(EdgeCases, OvercommitBelowOneRejected) {
+  auto rc = tiny_run_config(4, 6, 42);
+  rc.overcommit = 0.9;
+  EXPECT_THROW(SimEngine(make_synthetic_dataset(tiny_spec()), tiny_proxy(),
+                         make_datacenter_env(), tiny_train_config(), rc),
+               CheckError);
+}
+
+TEST(EdgeCases, RerunningSameEngineResetsState) {
+  auto eng = SimEngine(make_synthetic_dataset(tiny_spec()), tiny_proxy(),
+                       make_datacenter_env(), tiny_train_config(),
+                       tiny_run_config(8, 6, 42));
+  FedAvgStrategy s1;
+  const auto a = eng.run(s1);
+  FedAvgStrategy s2;
+  const auto b = eng.run(s2);
+  // Identical runs: state (params, sync tracker) must reset between runs.
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.rounds[i].down_bytes, b.rounds[i].down_bytes);
+    if (!std::isnan(a.rounds[i].test_acc)) {
+      EXPECT_DOUBLE_EQ(a.rounds[i].test_acc, b.rounds[i].test_acc);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gluefl

@@ -1,0 +1,209 @@
+// End-to-end integration tests: all four strategies learn on the tiny
+// task, full-run determinism, paper-shape assertions (GlueFL uses less
+// downstream bandwidth than STC/FedAvg under client sampling), and the
+// analysis helpers on real runs.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/convergence.h"
+#include "analysis/report.h"
+#include "fl/engine.h"
+#include "strategies/factory.h"
+#include "test_util.h"
+
+namespace gluefl {
+namespace {
+
+using testing::tiny_proxy;
+using testing::tiny_run_config;
+using testing::tiny_spec;
+using testing::tiny_train_config;
+
+SimEngine make_engine(int rounds, uint64_t seed = 42) {
+  auto rc = tiny_run_config(rounds, 6, seed);
+  return SimEngine(make_synthetic_dataset(tiny_spec()), tiny_proxy(),
+                   make_datacenter_env(), tiny_train_config(), rc);
+}
+
+GlueFlConfig tiny_gluefl_config() {
+  GlueFlConfig cfg;
+  cfg.q = 0.2;
+  cfg.q_shr = 0.15;
+  cfg.regen_every = 8;
+  cfg.sticky_group_size = 24;
+  cfg.sticky_per_round = 4;
+  return cfg;
+}
+
+RunResult run_named(const std::string& name, int rounds, uint64_t seed = 42) {
+  auto eng = make_engine(rounds, seed);
+  if (name == "gluefl") {
+    GlueFlStrategy s(tiny_gluefl_config());
+    return eng.run(s);
+  }
+  auto s = make_strategy(name, 6, "shufflenet");
+  return eng.run(*s);
+}
+
+TEST(Integration, AllStrategiesBeatChance) {
+  // 4 classes -> chance is 25%.
+  for (const char* name : {"fedavg", "stc", "apf"}) {
+    const auto res = run_named(name, 40);
+    EXPECT_GT(res.best_accuracy(), 0.5) << name;
+  }
+  const auto res = run_named("gluefl", 40);
+  EXPECT_GT(res.best_accuracy(), 0.5);
+}
+
+TEST(Integration, FullRunIsDeterministic) {
+  const auto a = run_named("gluefl", 15, 7);
+  const auto b = run_named("gluefl", 15, 7);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.rounds[i].down_bytes, b.rounds[i].down_bytes);
+    EXPECT_DOUBLE_EQ(a.rounds[i].up_bytes, b.rounds[i].up_bytes);
+    if (!std::isnan(a.rounds[i].test_acc)) {
+      EXPECT_DOUBLE_EQ(a.rounds[i].test_acc, b.rounds[i].test_acc);
+    }
+  }
+}
+
+TEST(Integration, DifferentSeedsDiverge) {
+  // FedAvg byte totals are seed-invariant by construction (full model every
+  // round), so divergence must show up in the learning curve instead.
+  const auto a = run_named("fedavg", 10, 1);
+  const auto b = run_named("fedavg", 10, 2);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.rounds.size(); ++i) {
+    const double aa = a.rounds[i].test_acc;
+    const double bb = b.rounds[i].test_acc;
+    if (!std::isnan(aa) && !std::isnan(bb) && aa != bb) any_diff = true;
+    if (a.rounds[i].train_loss != b.rounds[i].train_loss) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Integration, GlueFlUsesLeastDownstream) {
+  // The paper's headline: under client sampling GlueFL consumes the least
+  // downstream volume; STC fails to beat FedAvg by much (or at all).
+  const int rounds = 30;
+  const auto gluefl = run_named("gluefl", rounds);
+  const auto stc = run_named("stc", rounds);
+  const auto fedavg = run_named("fedavg", rounds);
+  const double g = gluefl.totals().down_gb;
+  const double s = stc.totals().down_gb;
+  const double f = fedavg.totals().down_gb;
+  EXPECT_LT(g, s);
+  EXPECT_LT(g, f);
+}
+
+TEST(Integration, MaskingSavesUpstream) {
+  const int rounds = 20;
+  const auto stc = run_named("stc", rounds);
+  const auto fedavg = run_named("fedavg", rounds);
+  EXPECT_LT(stc.totals().up_gb, fedavg.totals().up_gb * 0.6);
+}
+
+TEST(Integration, UpstreamOfGlueFlComparableToStc) {
+  const int rounds = 20;
+  const auto gluefl = run_named("gluefl", rounds);
+  const auto stc = run_named("stc", rounds);
+  // Same q -> same order of magnitude of upload.
+  EXPECT_LT(gluefl.totals().up_gb, stc.totals().up_gb * 1.6);
+  EXPECT_GT(gluefl.totals().up_gb, stc.totals().up_gb * 0.4);
+}
+
+TEST(Integration, AvailabilityReducesParticipation) {
+  auto spec = tiny_spec();
+  auto rc = tiny_run_config(10, 6, 42);
+  rc.use_availability = true;
+  SimEngine eng(make_synthetic_dataset(spec), tiny_proxy(), make_edge_env(),
+                tiny_train_config(), rc);
+  FedAvgStrategy s;
+  const auto res = eng.run(s);
+  // Rounds still executed; invitations can dip below the OC target but
+  // participants are bounded by K.
+  for (const auto& r : res.rounds) {
+    EXPECT_LE(r.num_included, 6);
+    EXPECT_GE(r.num_included, 1);
+  }
+}
+
+TEST(Integration, OvercommitTradesBytesForTime) {
+  auto run_with_oc = [&](double oc) {
+    auto rc = tiny_run_config(15, 6, 42);
+    rc.overcommit = oc;
+    SimEngine eng(make_synthetic_dataset(tiny_spec()), tiny_proxy(),
+                  make_edge_env(), tiny_train_config(), rc);
+    FedAvgStrategy s;
+    return eng.run(s);
+  };
+  const auto lean = run_with_oc(1.0);
+  const auto oc = run_with_oc(1.5);
+  // More invitations -> more downstream bytes...
+  EXPECT_GT(oc.totals().down_gb, lean.totals().down_gb);
+  // ...but a faster round (stragglers cut).
+  EXPECT_LT(oc.totals().wall_hours, lean.totals().wall_hours * 1.05);
+}
+
+TEST(Analysis, CommonTargetIsReachableByAll) {
+  std::vector<LabeledRun> runs;
+  runs.push_back({"fedavg", run_named("fedavg", 25)});
+  runs.push_back({"gluefl", run_named("gluefl", 25)});
+  const double target = common_target_accuracy(runs, 0.01);
+  EXPECT_GT(target, 0.2);
+  for (const auto& r : runs) {
+    EXPECT_GE(r.result.rounds_to_accuracy(target), 0) << r.label;
+  }
+}
+
+TEST(Analysis, CostTableHasOneRowPerRun) {
+  std::vector<LabeledRun> runs;
+  runs.push_back({"fedavg", run_named("fedavg", 10)});
+  runs.push_back({"stc", run_named("stc", 10)});
+  const auto table = make_cost_table(runs, 0.3);
+  EXPECT_EQ(table.num_rows(), 2u);
+  const std::string s = table.to_string();
+  EXPECT_NE(s.find("fedavg"), std::string::npos);
+  EXPECT_NE(s.find("stc"), std::string::npos);
+}
+
+TEST(Analysis, AccuracySeriesFormatting) {
+  std::vector<LabeledRun> runs;
+  runs.push_back({"gluefl", run_named("gluefl", 10)});
+  const std::string s = format_accuracy_series(runs);
+  EXPECT_NE(s.find("# gluefl"), std::string::npos);
+}
+
+TEST(Analysis, TimeBreakdownIsPositive) {
+  const auto res = run_named("fedavg", 8);
+  const auto b = mean_time_breakdown(res);
+  EXPECT_GT(b.download_s, 0.0);
+  EXPECT_GT(b.upload_s, 0.0);
+  EXPECT_GT(b.compute_s, 0.0);
+}
+
+TEST(Analysis, Theorem2ReducesToFedAvg) {
+  // Uniform weights, no sticky group: A = 1.
+  EXPECT_NEAR(theorem2_variance_term_uniform(100, 10, 0, 0), 1.0, 1e-9);
+}
+
+TEST(Analysis, Theorem2PenalizesLargeC) {
+  // Larger C means fewer fresh clients per round (K - C shrinks), so the
+  // (N-S)^2/(K-C) component of A grows: the variance price of the
+  // bandwidth savings that §4 of the paper discusses.
+  const double a_small_c = theorem2_variance_term_uniform(2800, 30, 120, 6);
+  const double a_large_c = theorem2_variance_term_uniform(2800, 30, 120, 24);
+  EXPECT_LT(a_small_c, a_large_c);
+}
+
+TEST(Analysis, Theorem2LearningRateShrinksWithRounds) {
+  const double a = theorem2_variance_term_uniform(2800, 30, 120, 24);
+  const double lr_short = theorem2_learning_rate(30, 10, 1.0, 100, a);
+  const double lr_long = theorem2_learning_rate(30, 10, 1.0, 10000, a);
+  EXPECT_GT(lr_short, lr_long);
+}
+
+}  // namespace
+}  // namespace gluefl

@@ -1,0 +1,106 @@
+#include "fl/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace gluefl {
+namespace {
+
+RoundRecord rec(int round, double down_gb, double acc,
+                double wall_s = 3600.0) {
+  RoundRecord r;
+  r.round = round;
+  r.down_bytes = down_gb * kBytesPerGb;
+  r.up_bytes = down_gb * kBytesPerGb / 2.0;
+  r.down_time_s = 60.0;
+  r.wall_time_s = wall_s;
+  r.test_acc = acc;
+  return r;
+}
+
+TEST(Metrics, SmoothedAccuracyAveragesLastEvals) {
+  RunResult r;
+  r.rounds.push_back(rec(0, 1.0, 0.10));
+  r.rounds.push_back(rec(1, 1.0, std::nan("")));
+  r.rounds.push_back(rec(2, 1.0, 0.30));
+  const auto acc = r.smoothed_accuracy(2);
+  EXPECT_NEAR(acc[0], 0.10, 1e-12);
+  EXPECT_NEAR(acc[1], 0.10, 1e-12);  // carries forward between evals
+  EXPECT_NEAR(acc[2], 0.20, 1e-12);  // mean of the last two evals
+}
+
+TEST(Metrics, RoundsToAccuracy) {
+  RunResult r;
+  r.rounds.push_back(rec(0, 1.0, 0.1));
+  r.rounds.push_back(rec(1, 1.0, 0.5));
+  r.rounds.push_back(rec(2, 1.0, 0.9));
+  EXPECT_EQ(r.rounds_to_accuracy(0.05, 1), 0);
+  EXPECT_EQ(r.rounds_to_accuracy(0.4, 1), 1);
+  EXPECT_EQ(r.rounds_to_accuracy(0.95, 1), -1);
+}
+
+TEST(Metrics, TotalsSumPrefixes) {
+  RunResult r;
+  r.rounds.push_back(rec(0, 2.0, 0.1));
+  r.rounds.push_back(rec(1, 3.0, 0.2));
+  const RunTotals all = r.totals();
+  EXPECT_NEAR(all.down_gb, 5.0, 1e-9);
+  EXPECT_NEAR(all.up_gb, 2.5, 1e-9);
+  EXPECT_NEAR(all.total_gb, 7.5, 1e-9);
+  EXPECT_NEAR(all.wall_hours, 2.0, 1e-9);
+  EXPECT_EQ(all.rounds, 2);
+  const RunTotals first = r.totals(0);
+  EXPECT_NEAR(first.down_gb, 2.0, 1e-9);
+  EXPECT_EQ(first.rounds, 1);
+}
+
+TEST(Metrics, TotalsToAccuracyStopsAtTarget) {
+  RunResult r;
+  r.rounds.push_back(rec(0, 1.0, 0.1));
+  r.rounds.push_back(rec(1, 1.0, 0.8));
+  r.rounds.push_back(rec(2, 1.0, 0.9));
+  const RunTotals t = r.totals_to_accuracy(0.75, 1);
+  EXPECT_TRUE(t.reached_target);
+  EXPECT_EQ(t.rounds, 2);  // rounds 0 and 1
+  EXPECT_NEAR(t.down_gb, 2.0, 1e-9);
+}
+
+TEST(Metrics, TotalsToAccuracyUnreached) {
+  RunResult r;
+  r.rounds.push_back(rec(0, 1.0, 0.1));
+  const RunTotals t = r.totals_to_accuracy(0.99, 1);
+  EXPECT_FALSE(t.reached_target);
+  EXPECT_EQ(t.rounds, 1);  // whole run
+}
+
+TEST(Metrics, AccuracyVsDownstreamSeries) {
+  RunResult r;
+  r.rounds.push_back(rec(0, 1.0, 0.1));
+  r.rounds.push_back(rec(1, 1.0, std::nan("")));  // not an eval round
+  r.rounds.push_back(rec(2, 1.0, 0.3));
+  const auto series = r.accuracy_vs_downstream(1);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_NEAR(series[0].first, 1.0, 1e-9);
+  EXPECT_NEAR(series[1].first, 3.0, 1e-9);  // cumulative includes round 1
+  EXPECT_NEAR(series[1].second, 0.3, 1e-12);
+}
+
+TEST(Metrics, BestAccuracy) {
+  RunResult r;
+  r.rounds.push_back(rec(0, 1.0, 0.4));
+  r.rounds.push_back(rec(1, 1.0, 0.7));
+  r.rounds.push_back(rec(2, 1.0, 0.6));
+  EXPECT_NEAR(r.best_accuracy(), 0.7, 1e-12);
+}
+
+TEST(Metrics, EmptyRunIsSafe) {
+  RunResult r;
+  EXPECT_EQ(r.rounds_to_accuracy(0.5), -1);
+  EXPECT_EQ(r.totals().rounds, 0);
+  EXPECT_TRUE(r.accuracy_vs_downstream().empty());
+  EXPECT_DOUBLE_EQ(r.best_accuracy(), 0.0);
+}
+
+}  // namespace
+}  // namespace gluefl

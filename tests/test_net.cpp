@@ -1,0 +1,169 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "net/availability.h"
+#include "net/bandwidth.h"
+#include "net/client_profile.h"
+#include "net/environment.h"
+
+namespace gluefl {
+namespace {
+
+TEST(Bandwidth, TransferSecondsMath) {
+  // 1 MB over 8 Mbps = 1 second.
+  EXPECT_NEAR(transfer_seconds(1e6, 8.0), 1.0, 1e-9);
+  EXPECT_NEAR(transfer_seconds(0.0, 10.0), 0.0, 1e-12);
+}
+
+TEST(Bandwidth, SamplesRespectClipBounds) {
+  const auto env = make_edge_env();
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const LinkSpec l = env.bandwidth.sample(rng);
+    EXPECT_GE(l.down_mbps, env.bandwidth.down_spec().min_mbps);
+    EXPECT_LE(l.down_mbps, env.bandwidth.down_spec().max_mbps);
+    EXPECT_GE(l.up_mbps, env.bandwidth.up_spec().min_mbps);
+    EXPECT_LE(l.up_mbps, env.bandwidth.up_spec().max_mbps);
+  }
+}
+
+TEST(Bandwidth, EdgeEnvMatchesFig1Calibration) {
+  // Fig. 1b: ~20% of devices below 10 Mbps download; median ~50 Mbps.
+  const auto env = make_edge_env();
+  Rng rng(2);
+  std::vector<double> down;
+  down.reserve(20000);
+  for (int i = 0; i < 20000; ++i) down.push_back(env.bandwidth.sample(rng).down_mbps);
+  EXPECT_NEAR(ecdf(down, 10.0), 0.20, 0.03);
+  EXPECT_NEAR(percentile(down, 0.5), 50.0, 8.0);
+}
+
+TEST(Bandwidth, UploadSlowerThanDownloadOnEdge) {
+  const auto env = make_edge_env();
+  Rng rng(3);
+  double d = 0.0, u = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const LinkSpec l = env.bandwidth.sample(rng);
+    d += std::log(l.down_mbps);
+    u += std::log(l.up_mbps);
+  }
+  EXPECT_GT(d, u);  // geometric mean download > upload
+}
+
+TEST(Bandwidth, CorrelationCouplesDirections) {
+  LogNormalSpec spec{std::log(50.0), 1.0, 0.1, 1e5};
+  BandwidthSampler corr(spec, spec, 0.95);
+  BandwidthSampler indep(spec, spec, 0.0);
+  auto sample_corrcoef = [](const BandwidthSampler& s, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> x, y;
+    for (int i = 0; i < 5000; ++i) {
+      const LinkSpec l = s.sample(rng);
+      x.push_back(std::log(l.down_mbps));
+      y.push_back(std::log(l.up_mbps));
+    }
+    const double mx = mean(x), my = mean(y);
+    double num = 0.0, dx = 0.0, dy = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      num += (x[i] - mx) * (y[i] - my);
+      dx += (x[i] - mx) * (x[i] - mx);
+      dy += (y[i] - my) * (y[i] - my);
+    }
+    return num / std::sqrt(dx * dy);
+  };
+  EXPECT_GT(sample_corrcoef(corr, 4), 0.8);
+  EXPECT_LT(std::fabs(sample_corrcoef(indep, 5)), 0.1);
+}
+
+TEST(Environment, PresetsAreOrdered) {
+  const auto edge = make_edge_env();
+  const auto g5 = make_5g_env();
+  const auto dc = make_datacenter_env();
+  // Median download speeds: edge < 5G < datacenter.
+  EXPECT_LT(edge.bandwidth.down_spec().mu_log, g5.bandwidth.down_spec().mu_log);
+  EXPECT_LT(g5.bandwidth.down_spec().mu_log, dc.bandwidth.down_spec().mu_log);
+  // Device speeds likewise.
+  EXPECT_LT(edge.gflops_mu_log, dc.gflops_mu_log);
+  // Only the datacenter has no churn.
+  EXPECT_LT(edge.availability, 1.0);
+  EXPECT_DOUBLE_EQ(dc.availability, 1.0);
+}
+
+TEST(Environment, FactoryByName) {
+  EXPECT_EQ(make_env("edge").name, "edge");
+  EXPECT_EQ(make_env("5g").name, "5g");
+  EXPECT_EQ(make_env("datacenter").name, "datacenter");
+  EXPECT_THROW(make_env("lan"), CheckError);
+}
+
+TEST(ClientProfile, BuildsPerClientProfiles) {
+  Rng rng(6);
+  const auto profiles = make_profiles(100, make_edge_env(), rng);
+  ASSERT_EQ(profiles.size(), 100u);
+  for (const auto& p : profiles) {
+    EXPECT_GT(p.down_mbps, 0.0);
+    EXPECT_GT(p.up_mbps, 0.0);
+    EXPECT_GT(p.gflops, 0.0);
+  }
+}
+
+TEST(ClientProfile, HeterogeneousAcrossClients) {
+  Rng rng(7);
+  const auto profiles = make_profiles(200, make_edge_env(), rng);
+  std::vector<double> down;
+  for (const auto& p : profiles) down.push_back(p.down_mbps);
+  EXPECT_GT(percentile(down, 0.9) / percentile(down, 0.1), 5.0);
+}
+
+TEST(Availability, AlwaysOnWhenAvailabilityIsOne) {
+  Rng rng(8);
+  const AvailabilityTrace trace(50, 100, make_datacenter_env(), rng);
+  for (int c = 0; c < 50; ++c) {
+    for (int t = 0; t < 100; t += 7) {
+      EXPECT_TRUE(trace.available(c, t));
+    }
+  }
+  EXPECT_DOUBLE_EQ(trace.online_fraction(0), 1.0);
+}
+
+TEST(Availability, SteadyStateMatchesEnvironment) {
+  Rng rng(9);
+  const auto env = make_edge_env();  // availability 0.8
+  const AvailabilityTrace trace(400, 200, env, rng);
+  double frac = 0.0;
+  for (int t = 0; t < 200; ++t) frac += trace.online_fraction(t);
+  frac /= 200.0;
+  EXPECT_NEAR(frac, env.availability, 0.05);
+}
+
+TEST(Availability, ClientsChurnOverTime) {
+  Rng rng(10);
+  const AvailabilityTrace trace(100, 400, make_edge_env(), rng);
+  int transitions = 0;
+  for (int c = 0; c < 100; ++c) {
+    for (int t = 1; t < 400; ++t) {
+      if (trace.available(c, t) != trace.available(c, t - 1)) ++transitions;
+    }
+  }
+  EXPECT_GT(transitions, 100);  // sojourns are finite
+}
+
+TEST(Availability, DeterministicInSeed) {
+  const auto env = make_edge_env();
+  Rng r1(11), r2(11);
+  const AvailabilityTrace a(60, 50, env, r1);
+  const AvailabilityTrace b(60, 50, env, r2);
+  for (int c = 0; c < 60; ++c) {
+    for (int t = 0; t < 50; ++t) {
+      EXPECT_EQ(a.available(c, t), b.available(c, t));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gluefl

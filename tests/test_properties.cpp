@@ -1,0 +1,254 @@
+// Property-based / parameterized tests:
+//  * Theorem 1 — Monte-Carlo unbiasedness of the inverse-propensity
+//    aggregation over a grid of (N, K, S, C),
+//  * Proposition 2 vs Monte Carlo over a parameter grid,
+//  * encoding monotonicity sweeps,
+//  * SyncTracker vs a brute-force reference implementation under random
+//    workloads.
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/bitmask.h"
+#include "compress/encoding.h"
+#include "fl/sync_tracker.h"
+#include "sampling/propositions.h"
+#include "sampling/sticky_sampler.h"
+
+namespace gluefl {
+namespace {
+
+// ---------------------------------------------------------------- Theorem 1
+struct SamplingGrid {
+  int n, k, s, c;
+};
+
+class Theorem1Test : public ::testing::TestWithParam<SamplingGrid> {};
+
+TEST_P(Theorem1Test, StickyAggregationIsUnbiased) {
+  const auto [n, k, s, c] = GetParam();
+  Rng init(100);
+  StickyConfig cfg;
+  cfg.group_size = s;
+  cfg.sticky_per_round = c;
+  StickySampler sampler(n, cfg, init);
+
+  // Fixed per-client "updates" and importance weights.
+  Rng data_rng(7);
+  std::vector<double> delta(static_cast<size_t>(n));
+  std::vector<double> p(static_cast<size_t>(n));
+  double psum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    delta[static_cast<size_t>(i)] = data_rng.normal();
+    p[static_cast<size_t>(i)] = data_rng.uniform(0.5, 1.5);
+    psum += p[static_cast<size_t>(i)];
+  }
+  for (auto& v : p) v /= psum;
+
+  double truth = 0.0;  // sum_i p_i * delta_i
+  for (int i = 0; i < n; ++i) truth += p[static_cast<size_t>(i)] * delta[static_cast<size_t>(i)];
+
+  Rng draw(11);
+  const int trials = 40000;
+  double acc = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const auto cand = sampler.invite(t, k, 1.0, draw, {});
+    double est = 0.0;
+    for (int i : cand.sticky) {
+      est += static_cast<double>(s) / c * p[static_cast<size_t>(i)] *
+             delta[static_cast<size_t>(i)];
+    }
+    for (int i : cand.nonsticky) {
+      est += static_cast<double>(n - s) / (k - c) * p[static_cast<size_t>(i)] *
+             delta[static_cast<size_t>(i)];
+    }
+    acc += est;
+    sampler.post_round(cand.sticky, cand.nonsticky, draw);
+  }
+  const double estimate = acc / trials;
+  EXPECT_NEAR(estimate, truth, 0.012)
+      << "N=" << n << " K=" << k << " S=" << s << " C=" << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Theorem1Test,
+    ::testing::Values(SamplingGrid{60, 6, 12, 3}, SamplingGrid{60, 6, 24, 4},
+                      SamplingGrid{120, 10, 40, 8}, SamplingGrid{200, 8, 32, 6},
+                      SamplingGrid{90, 9, 36, 5}),
+    [](const ::testing::TestParamInfo<SamplingGrid>& info) {
+      const auto& g = info.param;
+      return "N" + std::to_string(g.n) + "K" + std::to_string(g.k) + "S" +
+             std::to_string(g.s) + "C" + std::to_string(g.c);
+    });
+
+// The biased (equal-weight) estimator must NOT match in general — this is
+// the negative control for the test above and the rationale for Fig. 5.
+TEST(Theorem1, EqualWeightsAreBiased) {
+  const int n = 60, k = 6, s = 12, c = 4;
+  Rng init(200);
+  StickyConfig cfg;
+  cfg.group_size = s;
+  cfg.sticky_per_round = c;
+  StickySampler sampler(n, cfg, init);
+  // Adversarial construction: sticky-favoured clients all share the same
+  // update direction. Give clients in the initial sticky group delta = +1,
+  // everyone else delta = -1, equal p.
+  std::vector<double> delta(static_cast<size_t>(n), -1.0);
+  for (int i : sampler.sticky_members()) delta[static_cast<size_t>(i)] = 1.0;
+  double truth = 0.0;
+  for (double d : delta) truth += d / n;  // = (2*12 - 60)/60 = -0.6
+
+  Rng draw(13);
+  const int trials = 20000;
+  double equal_acc = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const auto cand = sampler.invite(t, k, 1.0, draw, {});
+    double est = 0.0;
+    for (int i : cand.sticky) est += delta[static_cast<size_t>(i)] / k;
+    for (int i : cand.nonsticky) est += delta[static_cast<size_t>(i)] / k;
+    equal_acc += est;
+    // NOTE: no post_round -> the sticky group stays fixed, keeping the
+    // adversarial alignment; this isolates the weighting bias.
+  }
+  const double equal_est = equal_acc / trials;
+  // Equal weights over-represent the sticky group: C/K = 2/3 of the mass
+  // comes from 20% of clients. Expected equal-weight value:
+  // (C/K)*1 + ((K-C)/K)*(-1) = 4/6 - 2/6 = 1/3, far from truth -0.6.
+  EXPECT_GT(equal_est, truth + 0.5);
+}
+
+// ------------------------------------------------------------ Proposition 2
+struct Prop2Grid {
+  int n, k, s, c;
+};
+
+class Prop2Test : public ::testing::TestWithParam<Prop2Grid> {};
+
+TEST_P(Prop2Test, FormulaIsAProbabilityDistribution) {
+  const auto [n, k, s, c] = GetParam();
+  double sum = 0.0;
+  double prev = 1.0;
+  for (int r = 1; r < 100000; ++r) {
+    const double pr = sticky_resample_prob(n, k, s, c, r);
+    EXPECT_GE(pr, 0.0);
+    if (r > 1) EXPECT_LE(pr, prev + 1e-12);  // monotone decreasing
+    prev = pr;
+    sum += pr;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST_P(Prop2Test, ExpectedGapIsNOverK) {
+  const auto [n, k, s, c] = GetParam();
+  double mean_gap = 0.0;
+  for (int r = 1; r < 300000; ++r) {
+    mean_gap += r * sticky_resample_prob(n, k, s, c, r);
+  }
+  EXPECT_NEAR(mean_gap, static_cast<double>(n) / k,
+              0.01 * static_cast<double>(n) / k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Prop2Test,
+    ::testing::Values(Prop2Grid{2800, 30, 120, 24}, Prop2Grid{100, 10, 20, 5},
+                      Prop2Grid{500, 20, 80, 16}, Prop2Grid{1000, 50, 200, 40},
+                      Prop2Grid{10625, 100, 400, 80}),
+    [](const ::testing::TestParamInfo<Prop2Grid>& info) {
+      const auto& g = info.param;
+      return "N" + std::to_string(g.n) + "K" + std::to_string(g.k) + "S" +
+             std::to_string(g.s) + "C" + std::to_string(g.c);
+    });
+
+// --------------------------------------------------------------- encodings
+class EncodingSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EncodingSweep, AutoNeverWorseThanEitherEncoding) {
+  const size_t dim = GetParam();
+  for (size_t nnz : {size_t{0}, dim / 100, dim / 32, dim / 8, dim / 2, dim}) {
+    const size_t a = position_bytes(nnz, dim, PositionEncoding::kAuto);
+    EXPECT_LE(a, position_bytes(nnz, dim, PositionEncoding::kBitmap));
+    EXPECT_LE(a, position_bytes(nnz, dim, PositionEncoding::kIndices32));
+  }
+}
+
+TEST_P(EncodingSweep, SparseBytesMonotoneInNnz) {
+  const size_t dim = GetParam();
+  size_t prev = 0;
+  for (size_t nnz = 0; nnz <= dim; nnz += std::max<size_t>(1, dim / 17)) {
+    const size_t b = sparse_update_bytes(nnz, dim);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, EncodingSweep,
+                         ::testing::Values(64, 1000, 4096, 33000, 50000));
+
+// ------------------------------------------------- SyncTracker vs reference
+// Reference implementation: store every round's changed-index set and
+// recompute unions naively.
+class SyncReference {
+ public:
+  SyncReference(int clients, size_t dim)
+      : dim_(dim), last_(static_cast<size_t>(clients), -1) {}
+
+  void record(const std::vector<uint32_t>& changed) { rounds_.push_back(changed); }
+  void sync(int client, int round) { last_[static_cast<size_t>(client)] = round; }
+
+  size_t stale(int client, int round) const {
+    const int ls = last_[static_cast<size_t>(client)];
+    if (ls < 0) return dim_;
+    std::set<uint32_t> u;
+    for (int r = ls; r < round; ++r) {
+      for (uint32_t i : rounds_[static_cast<size_t>(r)]) u.insert(i);
+    }
+    return u.size();
+  }
+
+ private:
+  size_t dim_;
+  std::vector<int> last_;
+  std::vector<std::vector<uint32_t>> rounds_;
+};
+
+TEST(SyncTrackerProperty, MatchesReferenceUnderRandomWorkload) {
+  const int clients = 12;
+  const size_t dim = 300;
+  SyncTracker tracker(clients, dim);
+  SyncReference ref(clients, dim);
+  Rng rng(17);
+  for (int round = 0; round < 60; ++round) {
+    // Random subset of clients syncs at this round.
+    for (int c = 0; c < clients; ++c) {
+      if (rng.bernoulli(0.25)) {
+        tracker.mark_synced(c, round);
+        ref.sync(c, round);
+      }
+    }
+    // Random changed set for the round.
+    const int nnz = rng.uniform_int(0, 40);
+    std::vector<uint32_t> idx;
+    std::set<uint32_t> seen;
+    for (int i = 0; i < nnz; ++i) {
+      const uint32_t v = static_cast<uint32_t>(
+          rng.uniform_int(0, static_cast<int>(dim) - 1));
+      if (seen.insert(v).second) idx.push_back(v);
+    }
+    std::sort(idx.begin(), idx.end());
+    tracker.record_round_changes(round, BitMask::from_indices(dim, idx));
+    ref.record(idx);
+    // Spot-check all clients at the next round boundary.
+    for (int c = 0; c < clients; ++c) {
+      ASSERT_EQ(tracker.stale_positions(c, round + 1), ref.stale(c, round + 1))
+          << "round " << round << " client " << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gluefl

@@ -1,0 +1,106 @@
+// Unit tests for the analysis/report helpers on hand-built RunResults
+// (the integration suite exercises them on real runs).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/report.h"
+
+namespace gluefl {
+namespace {
+
+RunResult make_run(const std::string& name,
+                   std::initializer_list<double> accuracies,
+                   double down_gb_per_round) {
+  RunResult r;
+  r.strategy = name;
+  int round = 0;
+  for (double acc : accuracies) {
+    RoundRecord rec;
+    rec.round = round++;
+    rec.down_bytes = down_gb_per_round * kBytesPerGb;
+    rec.up_bytes = rec.down_bytes / 2;
+    rec.down_time_s = 30.0;
+    rec.up_time_s = 20.0;
+    rec.compute_time_s = 10.0;
+    rec.wall_time_s = 60.0;
+    rec.test_acc = acc;
+    r.rounds.push_back(rec);
+  }
+  return r;
+}
+
+TEST(Report, CommonTargetIsMinOfBests) {
+  std::vector<LabeledRun> runs;
+  runs.push_back({"a", make_run("a", {0.1, 0.5, 0.9}, 1.0)});
+  runs.push_back({"b", make_run("b", {0.1, 0.4, 0.6}, 1.0)});
+  // window 1: bests are 0.9 and 0.6 -> common target 0.6 - margin.
+  EXPECT_NEAR(common_target_accuracy(runs, 0.0, 1), 0.6, 1e-12);
+  EXPECT_NEAR(common_target_accuracy(runs, 0.05, 1), 0.55, 1e-12);
+}
+
+TEST(Report, CommonTargetNeverNegative) {
+  std::vector<LabeledRun> runs;
+  runs.push_back({"a", make_run("a", {0.01}, 1.0)});
+  EXPECT_GE(common_target_accuracy(runs, 0.5, 1), 0.0);
+}
+
+TEST(Report, CostTableMarksUnreached) {
+  std::vector<LabeledRun> runs;
+  runs.push_back({"winner", make_run("winner", {0.2, 0.8}, 1.0)});
+  runs.push_back({"loser", make_run("loser", {0.1, 0.2}, 1.0)});
+  const auto table = make_cost_table(runs, 0.75, 1);
+  const std::string s = table.to_string();
+  EXPECT_NE(s.find("yes"), std::string::npos);
+  EXPECT_NE(s.find("no"), std::string::npos);
+}
+
+TEST(Report, CostTableChargesOnlyUpToTarget) {
+  std::vector<LabeledRun> runs;
+  runs.push_back({"fast", make_run("fast", {0.9, 0.9, 0.9}, 2.0)});
+  const auto table = make_cost_table(runs, 0.5, 1);
+  // Reached at round 0 -> DV charged for exactly one round (2 GB).
+  EXPECT_NE(table.to_string().find("2.000"), std::string::npos);
+}
+
+TEST(Report, SeriesRespectsMaxPoints) {
+  std::vector<double> accs(100, 0.5);
+  RunResult r;
+  int round = 0;
+  for (double a : accs) {
+    RoundRecord rec;
+    rec.round = round++;
+    rec.down_bytes = kBytesPerGb;
+    rec.test_acc = a;
+    r.rounds.push_back(rec);
+  }
+  std::vector<LabeledRun> runs;
+  runs.push_back({"x", r});
+  const std::string s = format_accuracy_series(runs, 1, 10);
+  // Count data lines (two leading spaces).
+  int lines = 0;
+  for (size_t i = 0; i + 1 < s.size(); ++i) {
+    if (s[i] == '\n' && s[i + 1] == ' ') ++lines;
+  }
+  EXPECT_LE(lines, 12);  // max_points plus the appended final point
+  EXPECT_GE(lines, 9);
+}
+
+TEST(Report, TimeBreakdownAverages) {
+  const RunResult r = make_run("x", {0.1, 0.2}, 1.0);
+  const TimeBreakdown b = mean_time_breakdown(r);
+  EXPECT_DOUBLE_EQ(b.download_s, 30.0);
+  EXPECT_DOUBLE_EQ(b.upload_s, 20.0);
+  EXPECT_DOUBLE_EQ(b.compute_s, 10.0);
+}
+
+TEST(Report, TimeBreakdownEmptyRunIsZero) {
+  RunResult r;
+  const TimeBreakdown b = mean_time_breakdown(r);
+  EXPECT_DOUBLE_EQ(b.download_s, 0.0);
+  EXPECT_DOUBLE_EQ(b.upload_s, 0.0);
+  EXPECT_DOUBLE_EQ(b.compute_s, 0.0);
+}
+
+}  // namespace
+}  // namespace gluefl

@@ -1,0 +1,254 @@
+#include "common/rng.h"
+
+#include "common/check.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gluefl {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  // xoshiro must not collapse to the all-zero state.
+  uint64_t acc = 0;
+  for (int i = 0; i < 16; ++i) acc |= r.next_u64();
+  EXPECT_NE(acc, 0u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng r(11);
+  double s = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) s += r.uniform();
+  EXPECT_NEAR(s / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng r(13);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = r.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r(17);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntIsRoughlyUniform) {
+  Rng r(19);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<size_t>(r.uniform_int(0, 9))];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(23);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng r(29);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng r(31);
+  std::vector<double> v;
+  const int n = 50000;
+  v.reserve(n);
+  for (int i = 0; i < n; ++i) v.push_back(r.lognormal(std::log(50.0), 1.0));
+  std::nth_element(v.begin(), v.begin() + n / 2, v.end());
+  EXPECT_NEAR(v[n / 2], 50.0, 3.0);
+}
+
+TEST(Rng, GammaMeanEqualsShape) {
+  Rng r(37);
+  for (double shape : {0.5, 1.0, 2.5, 8.0}) {
+    double sum = 0.0;
+    const int n = 60000;
+    for (int i = 0; i < n; ++i) sum += r.gamma(shape);
+    EXPECT_NEAR(sum / n, shape, shape * 0.05) << "shape=" << shape;
+  }
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng r(41);
+  const std::vector<double> alpha{0.3, 0.3, 0.3, 0.3};
+  for (int i = 0; i < 100; ++i) {
+    const auto d = r.dirichlet(alpha);
+    double s = 0.0;
+    for (double x : d) {
+      EXPECT_GE(x, 0.0);
+      s += x;
+    }
+    EXPECT_NEAR(s, 1.0, 1e-9);
+  }
+}
+
+TEST(Rng, DirichletSmallAlphaConcentrates) {
+  Rng r(43);
+  const std::vector<double> alpha(10, 0.05);
+  double max_sum = 0.0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const auto d = r.dirichlet(alpha);
+    max_sum += *std::max_element(d.begin(), d.end());
+  }
+  // With alpha = 0.05 the mass concentrates on very few classes.
+  EXPECT_GT(max_sum / n, 0.7);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(47);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng r(53);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = r.sample_without_replacement(20, 8);
+    ASSERT_EQ(s.size(), 8u);
+    std::set<int> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 8u);
+    for (int v : s) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 20);
+    }
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng r(59);
+  const auto s = r.sample_without_replacement(5, 5);
+  std::set<int> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(Rng, SampleWithoutReplacementEmpty) {
+  Rng r(61);
+  EXPECT_TRUE(r.sample_without_replacement(5, 0).empty());
+}
+
+TEST(Rng, SampleWithoutReplacementIsUniform) {
+  Rng r(67);
+  std::vector<int> counts(10, 0);
+  const int trials = 60000;
+  for (int t = 0; t < trials; ++t) {
+    for (int v : r.sample_without_replacement(10, 3)) {
+      ++counts[static_cast<size_t>(v)];
+    }
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.3, 0.02);
+  }
+}
+
+TEST(Rng, SampleFromPool) {
+  Rng r(71);
+  const std::vector<int> pool{2, 4, 8, 16, 32};
+  const auto s = r.sample_without_replacement(pool, 3);
+  ASSERT_EQ(s.size(), 3u);
+  for (int v : s) {
+    EXPECT_NE(std::find(pool.begin(), pool.end(), v), pool.end());
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(73);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(99);
+  Rng b(99);
+  Rng fa = a.fork(5);
+  Rng fb = b.fork(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+TEST(Rng, ForkStreamsAreIndependent) {
+  Rng a(99);
+  Rng f1 = a.fork(1);
+  Rng f2 = a.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (f1.next_u64() == f2.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng a(99);
+  Rng b(99);
+  (void)a.fork(1);
+  (void)a.fork(2);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformIntThrowsOnBadRange) {
+  Rng r(1);
+  EXPECT_THROW(r.uniform_int(3, 2), CheckError);
+}
+
+}  // namespace
+}  // namespace gluefl

@@ -1,0 +1,87 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace gluefl {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, Stdev) {
+  EXPECT_DOUBLE_EQ(stdev({1.0}), 0.0);
+  EXPECT_NEAR(stdev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+              std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  std::vector<double> v{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.75), 7.5);
+}
+
+TEST(Stats, PercentileRejectsEmptyAndBadP) {
+  EXPECT_THROW(percentile({}, 0.5), CheckError);
+  EXPECT_THROW(percentile({1.0}, -0.1), CheckError);
+  EXPECT_THROW(percentile({1.0}, 1.1), CheckError);
+}
+
+TEST(Stats, Ecdf) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ecdf(v, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf(v, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf(v, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf({}, 1.0), 0.0);
+}
+
+TEST(Stats, CdfSeriesMonotone) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const auto series = cdf_series(v, 20, /*log_space=*/false);
+  ASSERT_EQ(series.size(), 20u);
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].first, series[i - 1].first);
+    EXPECT_GE(series[i].second, series[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(Stats, CdfSeriesLogSpace) {
+  std::vector<double> v{1.0, 10.0, 100.0, 1000.0};
+  const auto series = cdf_series(v, 4, /*log_space=*/true);
+  EXPECT_NEAR(series[0].first, 1.0, 1e-9);
+  EXPECT_NEAR(series[1].first, 10.0, 1e-6);
+  EXPECT_NEAR(series[3].first, 1000.0, 1e-6);
+}
+
+TEST(Stats, MovingAverageWindowOne) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_EQ(moving_average(v, 1), v);
+}
+
+TEST(Stats, MovingAverageWindowed) {
+  const std::vector<double> v{2.0, 4.0, 6.0, 8.0};
+  const auto m = moving_average(v, 2);
+  ASSERT_EQ(m.size(), 4u);
+  EXPECT_DOUBLE_EQ(m[0], 2.0);
+  EXPECT_DOUBLE_EQ(m[1], 3.0);
+  EXPECT_DOUBLE_EQ(m[2], 5.0);
+  EXPECT_DOUBLE_EQ(m[3], 7.0);
+}
+
+}  // namespace
+}  // namespace gluefl

@@ -1,0 +1,62 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace gluefl {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  TablePrinter t;
+  t.set_headers({"a", "long-header"});
+  t.add_row({"xxxx", "1"});
+  const std::string s = t.to_string();
+  // Header row, separator, one data row.
+  EXPECT_NE(s.find("a     long-header"), std::string::npos);
+  EXPECT_NE(s.find("xxxx  1"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  TablePrinter t;
+  t.set_headers({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, CsvOutput) {
+  TablePrinter t;
+  t.set_headers({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, NoHeadersAllowed) {
+  TablePrinter t;
+  t.add_row({"a", "b"});
+  t.add_row({"ccc", "d"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("ccc  d"), std::string::npos);
+}
+
+TEST(Format, Double) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(fmt_bytes(512), "512 B");
+  EXPECT_EQ(fmt_bytes(2048), "2.00 KB");
+  EXPECT_EQ(fmt_bytes(3.5 * 1024 * 1024), "3.50 MB");
+}
+
+TEST(Format, Seconds) {
+  EXPECT_EQ(fmt_seconds(45.0), "45.0 s");
+  EXPECT_EQ(fmt_seconds(600.0), "10.0 min");
+  EXPECT_EQ(fmt_seconds(7200.0), "2.00 h");
+}
+
+TEST(Format, Percent) { EXPECT_EQ(fmt_percent(0.275), "27.5%"); }
+
+}  // namespace
+}  // namespace gluefl
