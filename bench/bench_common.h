@@ -10,6 +10,7 @@
 //   GLUEFL_ROUNDS=n   explicit round-count override (wins over both).
 #pragma once
 
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -28,11 +29,20 @@ namespace gluefl::bench {
 
 inline bool full_mode() { return std::getenv("GLUEFL_FULL") != nullptr; }
 
-/// Scaled-vs-full round budget, with the explicit override on top.
+/// Scaled-vs-full round budget, with the explicit override on top. A set
+/// but malformed GLUEFL_ROUNDS fails loudly instead of silently falling
+/// back to the default budget.
 inline int rounds_for(int scaled_default) {
   if (const char* env = std::getenv("GLUEFL_ROUNDS")) {
-    const int r = std::atoi(env);
-    if (r > 0) return r;
+    errno = 0;
+    char* end = nullptr;
+    const long r = std::strtol(env, &end, 10);
+    GLUEFL_CHECK_MSG(end != env && *end == '\0' && errno == 0 && r > 0 &&
+                         r <= 1000000,
+                     std::string("GLUEFL_ROUNDS must be a positive integer "
+                                 "round count, got '") +
+                         env + "'");
+    return static_cast<int>(r);
   }
   return full_mode() ? 1000 : scaled_default;
 }

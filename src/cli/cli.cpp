@@ -1,0 +1,587 @@
+#include "cli/cli.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/report.h"
+#include "common/check.h"
+#include "common/table.h"
+#include "data/presets.h"
+#include "fl/engine.h"
+#include "net/environment.h"
+#include "nn/proxies.h"
+#include "strategies/factory.h"
+#include "strategies/gluefl.h"
+
+namespace gluefl::cli {
+
+namespace {
+
+/// Bad flags / values: reported as usage errors (exit code 2), as opposed
+/// to CheckError (library invariant violations, exit code 1).
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+constexpr const char* kUsage = R"(usage: gluefl <command> [flags]
+
+commands:
+  list    enumerate strategies, dataset presets, network envs and models
+  run     train one strategy on one workload, print report + JSON summary
+  sweep   grid-search GlueFL's q / q_shr / sticky parameters
+  help    show this message
+
+run flags:
+  --strategy NAME    fedavg | stc | apf | gluefl | gluefl-paper  [gluefl]
+  --dataset NAME     femnist | openimage | speech                [femnist]
+  --model NAME       shufflenet | mobilenet | resnet34           [shufflenet]
+  --env NAME         edge | 5g | datacenter                      [edge]
+  --rounds N         training rounds                             [50]
+  --scale X          dataset population scale in (0, 1]          [0.25]
+  --overcommit F     invitation over-commitment factor           [1.3]
+  --eval-every N     evaluate test accuracy every N rounds       [5]
+  --seed N           RNG seed                                    [42]
+  --json FILE        also write the JSON summary to FILE
+
+sweep flags (plus --dataset/--model/--env/--rounds/--scale/--seed above):
+  --q LIST           total mask ratios, e.g. 0.1,0.2,0.3
+  --q-shr LIST       shared mask ratios, e.g. 0.08,0.16
+  --sticky-s LIST    sticky group sizes S (absolute client counts)
+  --sticky-c LIST    sticky participants per round C
+  --json FILE        also write the JSON summary to FILE
+)";
+
+double parse_double(const std::string& key, const std::string& s) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0' || errno != 0 || !std::isfinite(v)) {
+    throw UsageError("--" + key + " expects a number, got '" + s + "'");
+  }
+  return v;
+}
+
+long parse_long(const std::string& key, const std::string& s) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || errno != 0) {
+    throw UsageError("--" + key + " expects an integer, got '" + s + "'");
+  }
+  return v;
+}
+
+std::vector<double> parse_double_list(const std::string& key,
+                                      const std::string& s) {
+  std::vector<double> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(parse_double(key, item));
+  }
+  if (out.empty()) throw UsageError("--" + key + " expects a non-empty list");
+  return out;
+}
+
+/// Flag accessor that tracks which keys were consumed so unknown flags can
+/// be rejected afterwards.
+class Flags {
+ public:
+  explicit Flags(const std::map<std::string, std::string>& flags)
+      : flags_(flags) {}
+
+  std::string str(const std::string& key, const std::string& def) {
+    used_.insert(key);
+    const auto it = flags_.find(key);
+    return it == flags_.end() ? def : it->second;
+  }
+  double num(const std::string& key, double def) {
+    used_.insert(key);
+    const auto it = flags_.find(key);
+    return it == flags_.end() ? def : parse_double(key, it->second);
+  }
+  long integer(const std::string& key, long def, long lo, long hi) {
+    used_.insert(key);
+    const auto it = flags_.find(key);
+    if (it == flags_.end()) return def;
+    const long v = parse_long(key, it->second);
+    if (v < lo || v > hi) {
+      throw UsageError("--" + key + " must be in [" + std::to_string(lo) +
+                       ", " + std::to_string(hi) + "], got '" + it->second +
+                       "'");
+    }
+    return v;
+  }
+  std::vector<double> list(const std::string& key, std::vector<double> def) {
+    used_.insert(key);
+    const auto it = flags_.find(key);
+    return it == flags_.end() ? std::move(def)
+                              : parse_double_list(key, it->second);
+  }
+
+  /// Throws if any provided flag was never consumed by the command.
+  void reject_unknown() const {
+    for (const auto& [key, value] : flags_) {
+      (void)value;
+      if (used_.count(key) == 0) throw UsageError("unknown flag --" + key);
+    }
+  }
+
+ private:
+  const std::map<std::string, std::string>& flags_;
+  std::set<std::string> used_;
+};
+
+void require_name(const std::string& kind, const std::string& name,
+                  const std::vector<std::string>& known) {
+  if (std::find(known.begin(), known.end(), name) != known.end()) return;
+  std::string msg = "unknown " + kind + " '" + name + "'; choose one of:";
+  for (const auto& k : known) msg += " " + k;
+  throw UsageError(msg);
+}
+
+SyntheticSpec make_spec(const std::string& dataset, double scale) {
+  if (dataset == "femnist") return femnist_spec(scale);
+  if (dataset == "openimage") return openimage_spec(scale);
+  return speech_spec(scale);
+}
+
+/// Strategy construction with the sticky group clamped to the (possibly
+/// tiny, --scale-shrunk) population so small smoke runs stay valid.
+std::unique_ptr<Strategy> make_strategy_for(const std::string& name, int k,
+                                            const std::string& model,
+                                            int num_clients) {
+  if (name == "gluefl" || name == "gluefl-paper") {
+    GlueFlConfig cfg = name == "gluefl-paper"
+                           ? default_gluefl_config(k, model)
+                           : calibrated_gluefl_config(k, model);
+    cfg.sticky_group_size = std::min(cfg.sticky_group_size, num_clients);
+    cfg.sticky_per_round = std::min(cfg.sticky_per_round, k);
+    return std::make_unique<GlueFlStrategy>(cfg);
+  }
+  return make_strategy(name, k, model);
+}
+
+RunOptions resolve_common(Flags& flags) {
+  RunOptions opt;
+  opt.dataset = flags.str("dataset", opt.dataset);
+  opt.model = flags.str("model", opt.model);
+  opt.env = flags.str("env", opt.env);
+  opt.rounds = static_cast<int>(flags.integer("rounds", opt.rounds, 1, 1000000));
+  opt.scale = flags.num("scale", opt.scale);
+  opt.overcommit = flags.num("overcommit", opt.overcommit);
+  opt.eval_every =
+      static_cast<int>(flags.integer("eval-every", opt.eval_every, 1, 1000000));
+  opt.seed = static_cast<uint64_t>(
+      flags.integer("seed", 42, 0, std::numeric_limits<long>::max()));
+  opt.json_path = flags.str("json", "");
+
+  require_name("dataset", opt.dataset, dataset_names());
+  require_name("model", opt.model, model_names());
+  require_name("network env", opt.env, env_names());
+  if (opt.scale <= 0.0 || opt.scale > 1.0) {
+    throw UsageError("--scale must be in (0, 1]");
+  }
+  if (opt.overcommit < 1.0) throw UsageError("--overcommit must be >= 1.0");
+  return opt;
+}
+
+SimEngine make_cli_engine(const RunOptions& opt, const SyntheticSpec& spec,
+                          int k, int topk) {
+  TrainConfig train;
+  train.lr0 = 0.05;
+  RunConfig run;
+  run.rounds = opt.rounds;
+  run.clients_per_round = k;
+  run.overcommit = opt.overcommit;
+  run.eval_every = std::min(opt.eval_every, opt.rounds);
+  run.topk_accuracy = topk;
+  run.seed = opt.seed;
+  run.use_availability = true;
+  return SimEngine(make_synthetic_dataset(spec),
+                   make_proxy(opt.model, spec.feature_dim, spec.num_classes),
+                   make_env(opt.env), train, run);
+}
+
+// ---- JSON emission (hand-rolled; no external deps available) ----
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string jnum(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(10);
+  os << v;
+  return os.str();
+}
+
+std::string jstr(const std::string& s) { return "\"" + json_escape(s) + "\""; }
+
+std::string totals_json(const RunTotals& t) {
+  std::ostringstream os;
+  os << "{\"down_gb\": " << jnum(t.down_gb) << ", \"up_gb\": " << jnum(t.up_gb)
+     << ", \"total_gb\": " << jnum(t.total_gb)
+     << ", \"download_hours\": " << jnum(t.download_hours)
+     << ", \"wall_hours\": " << jnum(t.wall_hours)
+     << ", \"rounds\": " << t.rounds << "}";
+  return os.str();
+}
+
+std::string trajectory_json(const RunResult& res) {
+  std::ostringstream os;
+  os << "[";
+  double cum_down = 0.0, cum_wall = 0.0;
+  bool first = true;
+  for (const auto& r : res.rounds) {
+    cum_down += r.down_bytes / kBytesPerGb;
+    cum_wall += r.wall_time_s / 3600.0;
+    if (std::isnan(r.test_acc)) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"round\": " << r.round << ", \"accuracy\": " << jnum(r.test_acc)
+       << ", \"cum_down_gb\": " << jnum(cum_down)
+       << ", \"cum_wall_h\": " << jnum(cum_wall) << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string run_json(const RunOptions& opt, const std::string& strategy,
+                     const SyntheticSpec& spec, int k,
+                     const RunResult& res) {
+  const RunTotals totals = res.totals();
+  std::ostringstream os;
+  os << "{\"schema\": \"gluefl.run.v1\", \"strategy\": " << jstr(strategy)
+     << ", \"dataset\": " << jstr(opt.dataset)
+     << ", \"model\": " << jstr(opt.model) << ", \"env\": " << jstr(opt.env)
+     << ", \"rounds\": " << opt.rounds << ", \"clients\": " << spec.num_clients
+     << ", \"clients_per_round\": " << k << ", \"scale\": " << jnum(opt.scale)
+     << ", \"seed\": " << opt.seed
+     << ", \"best_accuracy\": " << jnum(res.best_accuracy())
+     << ", \"totals\": " << totals_json(totals)
+     << ", \"trajectory\": " << trajectory_json(res) << "}";
+  return os.str();
+}
+
+void emit_json(const std::string& json, const std::string& path,
+               std::ostream& out) {
+  out << "\nJSON summary:\n" << json << "\n";
+  if (path.empty()) return;
+  std::ofstream f(path);
+  if (!f) throw UsageError("cannot open --json file '" + path + "' for writing");
+  f << json << "\n";
+}
+
+}  // namespace
+
+const std::vector<std::string>& strategy_names() {
+  static const std::vector<std::string> names{"fedavg", "stc", "apf", "gluefl",
+                                              "gluefl-paper"};
+  return names;
+}
+
+const std::vector<std::string>& dataset_names() {
+  static const std::vector<std::string> names{"femnist", "openimage", "speech"};
+  return names;
+}
+
+const std::vector<std::string>& env_names() {
+  static const std::vector<std::string> names{"edge", "5g", "datacenter"};
+  return names;
+}
+
+const std::vector<std::string>& model_names() {
+  static const std::vector<std::string> names{"shufflenet", "mobilenet",
+                                              "resnet34"};
+  return names;
+}
+
+ParsedArgs parse_args(const std::vector<std::string>& args) {
+  ParsedArgs p;
+  if (args.empty()) {
+    p.error = "no command given";
+    return p;
+  }
+  p.command = args[0];
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--", 0) != 0) {
+      p.error = "unexpected positional argument '" + a + "'";
+      return p;
+    }
+    std::string key = a.substr(2);
+    std::string value;
+    if (const size_t eq = key.find('='); eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    } else {
+      if (i + 1 >= args.size()) {
+        p.error = "flag --" + key + " is missing a value";
+        return p;
+      }
+      value = args[++i];
+    }
+    if (key.empty()) {
+      p.error = "empty flag name in '" + a + "'";
+      return p;
+    }
+    if (p.flags.count(key) != 0) {
+      p.error = "duplicate flag --" + key;
+      return p;
+    }
+    p.flags[key] = value;
+  }
+  return p;
+}
+
+int cmd_list(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  (void)err;
+  Flags flags(args.flags);
+  flags.reject_unknown();
+
+  out << "strategies:\n";
+  TablePrinter s;
+  s.set_headers({"name", "description"});
+  s.add_row({"fedavg", "dense FedAvg baseline (McMahan et al.)"});
+  s.add_row({"stc", "sparse ternary compression, top-q masking + EF"});
+  s.add_row({"apf", "adaptive parameter freezing"});
+  s.add_row({"gluefl", "sticky sampling + shared-mask shifting (calibrated)"});
+  s.add_row({"gluefl-paper", "GlueFL with the paper's verbatim constants"});
+  out << s.to_string();
+
+  out << "\ndataset presets (paper scale-1 populations):\n";
+  TablePrinter d;
+  d.set_headers({"name", "clients", "classes", "K", "accuracy"});
+  for (const auto& name : dataset_names()) {
+    const SyntheticSpec spec = make_spec(name, 1.0);
+    const int topk = preset_topk(spec);
+    d.add_row({name, std::to_string(spec.num_clients),
+               std::to_string(spec.num_classes),
+               std::to_string(preset_clients_per_round(spec)),
+               "top-" + std::to_string(topk)});
+  }
+  out << d.to_string();
+
+  out << "\nnetwork environments:\n";
+  TablePrinter e;
+  e.set_headers({"name", "description"});
+  e.add_row({"edge", "residential/mobile links, slow devices, 80% availability"});
+  e.add_row({"5g", "commercial 5G, phone-class compute"});
+  e.add_row({"datacenter", "~5 Gbps symmetric, server-class, no churn"});
+  out << e.to_string();
+
+  out << "\nmodel proxies (paper defaults q / q_shr):\n";
+  TablePrinter m;
+  m.set_headers({"name", "q", "q_shr"});
+  for (const auto& name : model_names()) {
+    m.add_row({name, fmt_percent(default_mask_ratio(name)),
+               fmt_percent(default_shared_ratio(name))});
+  }
+  out << m.to_string();
+  return 0;
+}
+
+int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  (void)err;
+  Flags flags(args.flags);
+  const std::string strategy_name = flags.str("strategy", "gluefl");
+  RunOptions opt = resolve_common(flags);
+  flags.reject_unknown();
+  require_name("strategy", strategy_name, strategy_names());
+
+  const SyntheticSpec spec = make_spec(opt.dataset, opt.scale);
+  const int k = preset_clients_per_round(spec);
+  const int topk = preset_topk(spec);
+  SimEngine engine = make_cli_engine(opt, spec, k, topk);
+
+  out << "run: " << strategy_name << " on " << opt.dataset << " x " << opt.model
+      << " over " << opt.env << " (N=" << spec.num_clients << ", K=" << k
+      << ", OC=" << fmt_double(opt.overcommit, 2) << ", " << opt.rounds
+      << " rounds, seed=" << opt.seed << ")\n\n";
+
+  auto strategy =
+      make_strategy_for(strategy_name, k, opt.model, spec.num_clients);
+  const RunResult res = engine.run(*strategy);
+
+  TablePrinter t;
+  t.set_headers({"round", "acc", "cum down", "cum up", "cum wall"});
+  double cum_down = 0.0, cum_up = 0.0, cum_wall = 0.0;
+  for (const auto& r : res.rounds) {
+    cum_down += r.down_bytes;
+    cum_up += r.up_bytes;
+    cum_wall += r.wall_time_s;
+    if (std::isnan(r.test_acc)) continue;
+    t.add_row({std::to_string(r.round), fmt_percent(r.test_acc),
+               fmt_bytes(cum_down), fmt_bytes(cum_up), fmt_seconds(cum_wall)});
+  }
+  out << t.to_string();
+
+  const RunTotals totals = res.totals();
+  out << "\ntotals: DV=" << fmt_double(totals.down_gb, 3)
+      << " GB  TV=" << fmt_double(totals.total_gb, 3)
+      << " GB  DT=" << fmt_double(totals.download_hours, 2)
+      << " h  TT=" << fmt_double(totals.wall_hours, 2)
+      << " h  best-acc=" << fmt_percent(res.best_accuracy()) << "\n";
+
+  emit_json(run_json(opt, strategy_name, spec, k, res), opt.json_path, out);
+  return 0;
+}
+
+int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  (void)err;
+  Flags flags(args.flags);
+  RunOptions opt = resolve_common(flags);
+
+  const SyntheticSpec spec = make_spec(opt.dataset, opt.scale);
+  const int k = preset_clients_per_round(spec);
+  const int topk = preset_topk(spec);
+  const GlueFlConfig base = calibrated_gluefl_config(k, opt.model);
+
+  const std::vector<double> qs = flags.list("q", {base.q});
+  const std::vector<double> q_shrs = flags.list("q-shr", {base.q_shr});
+  const std::vector<double> sticky_ss =
+      flags.list("sticky-s", {static_cast<double>(base.sticky_group_size)});
+  const std::vector<double> sticky_cs =
+      flags.list("sticky-c", {static_cast<double>(base.sticky_per_round)});
+  flags.reject_unknown();
+
+  const size_t arms =
+      qs.size() * q_shrs.size() * sticky_ss.size() * sticky_cs.size();
+  if (arms > 64) {
+    throw UsageError("sweep grid has " + std::to_string(arms) +
+                     " arms; keep it <= 64");
+  }
+
+  // Validate the whole grid up front — every (q, q_shr) pair will run, so
+  // reject bad values before the first (possibly expensive) arm executes.
+  for (const double q : qs) {
+    if (q <= 0.0 || q > 1.0) throw UsageError("--q values must be in (0, 1]");
+  }
+  for (const double q_shr : q_shrs) {
+    for (const double q : qs) {
+      if (q_shr < 0.0 || q_shr > q) {
+        throw UsageError("--q-shr values must be in [0, q] for every --q");
+      }
+    }
+  }
+  for (const double s : sticky_ss) {
+    if (s < 1.0) throw UsageError("--sticky-s values must be positive");
+  }
+  for (const double c : sticky_cs) {
+    if (c < 1.0) throw UsageError("--sticky-c values must be positive");
+  }
+
+  out << "sweep: gluefl on " << opt.dataset << " x " << opt.model << " over "
+      << opt.env << " (N=" << spec.num_clients << ", K=" << k << ", "
+      << opt.rounds << " rounds, " << arms << " arms)\n\n";
+
+  SimEngine engine = make_cli_engine(opt, spec, k, topk);
+  std::vector<LabeledRun> runs;
+  for (const double q : qs) {
+    for (const double q_shr : q_shrs) {
+      for (const double s : sticky_ss) {
+        for (const double c : sticky_cs) {
+          GlueFlConfig cfg = base;
+          cfg.q = q;
+          cfg.q_shr = q_shr;
+          cfg.sticky_group_size =
+              std::min(static_cast<int>(s), spec.num_clients);
+          cfg.sticky_per_round = std::min(static_cast<int>(c), k);
+          std::ostringstream label;
+          label << "q=" << fmt_percent(q) << " q_shr=" << fmt_percent(q_shr)
+                << " S=" << cfg.sticky_group_size
+                << " C=" << cfg.sticky_per_round;
+          GlueFlStrategy strategy(cfg);
+          runs.push_back({label.str(), engine.run(strategy)});
+          const RunTotals t = runs.back().result.totals();
+          out << "  " << label.str() << ": best-acc "
+              << fmt_percent(runs.back().result.best_accuracy()) << ", DV "
+              << fmt_double(t.down_gb, 2) << " GB, TT "
+              << fmt_double(t.wall_hours, 2) << " h\n";
+        }
+      }
+    }
+  }
+
+  const double target = common_target_accuracy(runs, 0.01);
+  out << "\ncosts to reach the common target accuracy (" << fmt_percent(target)
+      << "):\n"
+      << make_cost_table(runs, target).to_string();
+
+  std::ostringstream json;
+  json << "{\"schema\": \"gluefl.sweep.v1\", \"dataset\": " << jstr(opt.dataset)
+       << ", \"model\": " << jstr(opt.model) << ", \"env\": " << jstr(opt.env)
+       << ", \"rounds\": " << opt.rounds
+       << ", \"target_accuracy\": " << jnum(target) << ", \"arms\": [";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (i > 0) json << ", ";
+    json << "{\"label\": " << jstr(runs[i].label)
+         << ", \"best_accuracy\": " << jnum(runs[i].result.best_accuracy())
+         << ", \"totals\": " << totals_json(runs[i].result.totals())
+         << ", \"totals_to_target\": "
+         << totals_json(runs[i].result.totals_to_accuracy(target)) << "}";
+  }
+  json << "]}";
+  emit_json(json.str(), opt.json_path, out);
+  return 0;
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  const ParsedArgs parsed = parse_args(args);
+  if (!parsed.error.empty()) {
+    err << "error: " << parsed.error << "\n" << kUsage;
+    return 2;
+  }
+  try {
+    if (parsed.command == "list") return cmd_list(parsed, out, err);
+    if (parsed.command == "run") return cmd_run(parsed, out, err);
+    if (parsed.command == "sweep") return cmd_sweep(parsed, out, err);
+    if (parsed.command == "help" || parsed.command == "--help" ||
+        parsed.command == "-h") {
+      out << kUsage;
+      return 0;
+    }
+    err << "error: unknown command '" << parsed.command << "'\n" << kUsage;
+    return 2;
+  } catch (const UsageError& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const CheckError& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace gluefl::cli

@@ -1,0 +1,74 @@
+// Unified command-line front end for the GlueFL simulator.
+//
+// One binary, three subcommands, consolidating the driver logic that was
+// previously duplicated across examples/*.cpp:
+//
+//   gluefl list                  enumerate strategies, dataset presets,
+//                                network environments and model proxies
+//   gluefl run --strategy gluefl --dataset femnist --rounds 50
+//                                run one strategy on one workload; prints a
+//                                per-eval report table, run totals and a
+//                                machine-readable JSON summary (trajectory
+//                                included); --json FILE also writes the
+//                                JSON to a file
+//   gluefl sweep --dataset femnist --q 0.1,0.2,0.3 --q-shr 0.08,0.16
+//                                grid over GlueFL's q / q_shr / sticky
+//                                parameters; prints a Table-2-style cost
+//                                table at the common target accuracy
+//
+// Everything below is a library (linked into both the `gluefl` binary and
+// tests/test_cli.cpp) so argument parsing and command behaviour are unit
+// testable without spawning processes.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gluefl::cli {
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+struct ParsedArgs {
+  std::string command;                        // "list", "run", "sweep", ...
+  std::map<std::string, std::string> flags;   // key without the leading "--"
+  std::string error;                          // non-empty = parse failure
+};
+
+/// Parses `args` (argv without the program name). Accepts `--key value` and
+/// `--key=value`. A flag with a missing value or a stray positional token
+/// sets `error`.
+ParsedArgs parse_args(const std::vector<std::string>& args);
+
+/// Options shared by `run` and `sweep`, resolved from flags + defaults.
+struct RunOptions {
+  std::string dataset = "femnist";
+  std::string model = "shufflenet";
+  std::string env = "edge";
+  int rounds = 50;
+  double scale = 0.25;     // population scale of the dataset preset
+  double overcommit = 1.3;
+  int eval_every = 5;
+  uint64_t seed = 42;
+  std::string json_path;   // empty = stdout only
+};
+
+/// Entry point used by main(): dispatches to the subcommand, writing
+/// human-readable output to `out` and diagnostics to `err`. Returns the
+/// process exit code (0 ok, 2 usage error, 1 runtime failure).
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+// ---- individual subcommands (exposed for tests) ----
+int cmd_list(const ParsedArgs& args, std::ostream& out, std::ostream& err);
+int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err);
+int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err);
+
+/// Known registry names (kept in sync with strategies/factory and
+/// data/presets; `gluefl list` prints these).
+const std::vector<std::string>& strategy_names();
+const std::vector<std::string>& dataset_names();
+const std::vector<std::string>& env_names();
+const std::vector<std::string>& model_names();
+
+}  // namespace gluefl::cli

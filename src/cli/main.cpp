@@ -1,0 +1,13 @@
+// Entry point of the `gluefl` binary; all logic lives in cli.cpp so it can
+// be unit tested.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) args.push_back("help");
+  return gluefl::cli::run_cli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,202 @@
+// CLI layer: argument parsing, `list` output, and small end-to-end `run` /
+// `sweep` smokes through run_cli (no process spawning).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+namespace gluefl::cli {
+namespace {
+
+std::vector<std::string> argv(std::initializer_list<const char*> parts) {
+  return std::vector<std::string>(parts.begin(), parts.end());
+}
+
+struct CliResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult invoke(std::initializer_list<const char*> parts) {
+  std::ostringstream out, err;
+  const int code = run_cli(argv(parts), out, err);
+  return {code, out.str(), err.str()};
+}
+
+// ---------------------------------------------------------------- parsing
+
+TEST(CliParse, CommandAndFlagStyles) {
+  const ParsedArgs p = parse_args(
+      argv({"run", "--strategy", "gluefl", "--rounds=5", "--scale", "0.1"}));
+  EXPECT_TRUE(p.error.empty()) << p.error;
+  EXPECT_EQ(p.command, "run");
+  ASSERT_EQ(p.flags.size(), 3u);
+  EXPECT_EQ(p.flags.at("strategy"), "gluefl");
+  EXPECT_EQ(p.flags.at("rounds"), "5");
+  EXPECT_EQ(p.flags.at("scale"), "0.1");
+}
+
+TEST(CliParse, EmptyArgsIsAnError) {
+  EXPECT_FALSE(parse_args({}).error.empty());
+}
+
+TEST(CliParse, MissingValueIsAnError) {
+  const ParsedArgs p = parse_args(argv({"run", "--rounds"}));
+  EXPECT_NE(p.error.find("--rounds"), std::string::npos);
+}
+
+TEST(CliParse, PositionalTokenIsAnError) {
+  const ParsedArgs p = parse_args(argv({"run", "gluefl"}));
+  EXPECT_FALSE(p.error.empty());
+}
+
+TEST(CliParse, DuplicateFlagIsAnError) {
+  const ParsedArgs p =
+      parse_args(argv({"run", "--rounds", "5", "--rounds", "6"}));
+  EXPECT_NE(p.error.find("duplicate"), std::string::npos);
+}
+
+TEST(CliParse, EqualsValueMayContainEquals) {
+  const ParsedArgs p = parse_args(argv({"run", "--json=a=b.json"}));
+  EXPECT_TRUE(p.error.empty()) << p.error;
+  EXPECT_EQ(p.flags.at("json"), "a=b.json");
+}
+
+// ---------------------------------------------------------------- list
+
+TEST(CliList, EnumeratesAllRegistries) {
+  const CliResult r = invoke({"list"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  for (const auto& name : strategy_names()) {
+    EXPECT_NE(r.out.find(name), std::string::npos) << name;
+  }
+  for (const auto& name : dataset_names()) {
+    EXPECT_NE(r.out.find(name), std::string::npos) << name;
+  }
+  for (const auto& name : env_names()) {
+    EXPECT_NE(r.out.find(name), std::string::npos) << name;
+  }
+  for (const auto& name : model_names()) {
+    EXPECT_NE(r.out.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(CliList, RejectsUnknownFlags) {
+  const CliResult r = invoke({"list", "--bogus", "1"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--bogus"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- errors
+
+TEST(CliErrors, UnknownCommand) {
+  const CliResult r = invoke({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("frobnicate"), std::string::npos);
+}
+
+TEST(CliErrors, UnknownStrategy) {
+  const CliResult r = invoke({"run", "--strategy", "zeroth-order"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("zeroth-order"), std::string::npos);
+}
+
+TEST(CliErrors, MalformedNumber) {
+  const CliResult r = invoke({"run", "--rounds", "abc"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("abc"), std::string::npos);
+}
+
+TEST(CliErrors, IntegerOverflowIsRejectedNotTruncated) {
+  // 2^32 + 2 would truncate to 2 through a silent cast to int.
+  const CliResult r = invoke({"run", "--rounds", "4294967298"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("rounds"), std::string::npos);
+}
+
+TEST(CliErrors, OutOfRangeScale) {
+  const CliResult r = invoke({"run", "--scale", "1.5"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("scale"), std::string::npos);
+}
+
+TEST(CliErrors, HelpExitsCleanly) {
+  const CliResult r = invoke({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("usage"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- run
+
+TEST(CliRun, TwoRoundGlueFlSmokeEmitsTableAndJson) {
+  const CliResult r =
+      invoke({"run", "--strategy", "gluefl", "--dataset", "femnist",
+              "--rounds", "2", "--scale", "0.02", "--eval-every", "1"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  // Human-readable report table.
+  EXPECT_NE(r.out.find("round"), std::string::npos);
+  EXPECT_NE(r.out.find("best-acc"), std::string::npos);
+  // Machine-readable summary with the trajectory.
+  EXPECT_NE(r.out.find("JSON summary:"), std::string::npos);
+  EXPECT_NE(r.out.find("\"schema\": \"gluefl.run.v1\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"strategy\": \"gluefl\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"trajectory\": [{"), std::string::npos);
+}
+
+TEST(CliRun, JsonFileFlagWritesTheSummary) {
+  const std::string path = "test_cli_run_summary.json";
+  const CliResult r =
+      invoke({"run", "--strategy", "fedavg", "--dataset", "femnist",
+              "--rounds", "1", "--scale", "0.02", "--json", path.c_str()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream content;
+  content << f.rdbuf();
+  EXPECT_NE(content.str().find("\"schema\": \"gluefl.run.v1\""),
+            std::string::npos);
+  EXPECT_NE(content.str().find("\"strategy\": \"fedavg\""), std::string::npos);
+  f.close();
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- sweep
+
+TEST(CliSweep, TwoArmGridReportsCostTable) {
+  const CliResult r =
+      invoke({"sweep", "--dataset", "femnist", "--rounds", "2", "--scale",
+              "0.02", "--q", "0.2", "--q-shr", "0.05,0.1"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("2 arms"), std::string::npos);
+  EXPECT_NE(r.out.find("q_shr=5.0%"), std::string::npos);
+  EXPECT_NE(r.out.find("q_shr=10.0%"), std::string::npos);
+  EXPECT_NE(r.out.find("\"schema\": \"gluefl.sweep.v1\""), std::string::npos);
+  EXPECT_NE(r.out.find("target_accuracy"), std::string::npos);
+}
+
+TEST(CliSweep, ValidatesGridBeforeRunningAnyArm) {
+  const CliResult r = invoke({"sweep", "--dataset", "femnist", "--rounds", "1",
+                              "--scale", "0.02", "--q", "0.2,1.5"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--q"), std::string::npos);
+  // The valid q=0.2 arm must not have executed first.
+  EXPECT_EQ(r.out.find("best-acc"), std::string::npos);
+}
+
+TEST(CliSweep, RejectsOversizedGrid) {
+  // 5 * 5 * 3 = 75 arms > 64.
+  const CliResult r = invoke(
+      {"sweep", "--q", "0.1,0.2,0.3,0.4,0.5", "--q-shr",
+       "0.01,0.02,0.03,0.04,0.05", "--sticky-c", "6,12,18"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("75"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gluefl::cli

@@ -139,7 +139,9 @@ TEST(TopK, MatchesSortReference) {
     kept[s.idx[i]] = true;
   }
   for (size_t i = 0; i < x.size(); ++i) {
-    if (!kept[i]) EXPECT_LE(std::fabs(x[i]), min_kept + 1e-6f);
+    if (!kept[i]) {
+      EXPECT_LE(std::fabs(x[i]), min_kept + 1e-6f);
+    }
   }
 }
 

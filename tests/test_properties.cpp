@@ -82,8 +82,18 @@ INSTANTIATE_TEST_SUITE_P(
                       SamplingGrid{90, 9, 36, 5}),
     [](const ::testing::TestParamInfo<SamplingGrid>& info) {
       const auto& g = info.param;
-      return "N" + std::to_string(g.n) + "K" + std::to_string(g.k) + "S" +
-             std::to_string(g.s) + "C" + std::to_string(g.c);
+      // Built by append rather than operator+ chaining: the rvalue
+      // string-concat path trips GCC 12's -Wrestrict false positive
+      // (GCC PR105651) under -Werror.
+      std::string name = "N";
+      name += std::to_string(g.n);
+      name += "K";
+      name += std::to_string(g.k);
+      name += "S";
+      name += std::to_string(g.s);
+      name += "C";
+      name += std::to_string(g.c);
+      return name;
     });
 
 // The biased (equal-weight) estimator must NOT match in general — this is
@@ -136,7 +146,9 @@ TEST_P(Prop2Test, FormulaIsAProbabilityDistribution) {
   for (int r = 1; r < 100000; ++r) {
     const double pr = sticky_resample_prob(n, k, s, c, r);
     EXPECT_GE(pr, 0.0);
-    if (r > 1) EXPECT_LE(pr, prev + 1e-12);  // monotone decreasing
+    if (r > 1) {
+      EXPECT_LE(pr, prev + 1e-12);  // monotone decreasing
+    }
     prev = pr;
     sum += pr;
   }
@@ -160,8 +172,18 @@ INSTANTIATE_TEST_SUITE_P(
                       Prop2Grid{10625, 100, 400, 80}),
     [](const ::testing::TestParamInfo<Prop2Grid>& info) {
       const auto& g = info.param;
-      return "N" + std::to_string(g.n) + "K" + std::to_string(g.k) + "S" +
-             std::to_string(g.s) + "C" + std::to_string(g.c);
+      // Built by append rather than operator+ chaining: the rvalue
+      // string-concat path trips GCC 12's -Wrestrict false positive
+      // (GCC PR105651) under -Werror.
+      std::string name = "N";
+      name += std::to_string(g.n);
+      name += "K";
+      name += std::to_string(g.k);
+      name += "S";
+      name += std::to_string(g.s);
+      name += "C";
+      name += std::to_string(g.c);
+      return name;
     });
 
 // --------------------------------------------------------------- encodings
