@@ -43,16 +43,27 @@ commands:
   help    show this message
 
 run flags:
-  --strategy NAME    fedavg | stc | apf | gluefl | gluefl-paper  [gluefl]
+  --exec MODE        round execution model: sync | async         [sync]
+  --strategy NAME    sync:  fedavg | stc | apf | gluefl | gluefl-paper
+                     async: async-fedbuff                        [gluefl]
   --dataset NAME     femnist | openimage | speech                [femnist]
   --model NAME       shufflenet | mobilenet | resnet34           [shufflenet]
   --env NAME         edge | 5g | datacenter                      [edge]
-  --rounds N         training rounds                             [50]
+  --rounds N         training rounds (async: aggregations)       [50]
   --scale X          dataset population scale in (0, 1]          [0.25]
-  --overcommit F     invitation over-commitment factor           [1.3]
+  --overcommit F     invitation over-commitment factor (sync)    [1.3]
   --eval-every N     evaluate test accuracy every N rounds       [5]
   --seed N           RNG seed                                    [42]
+  --threads N        training threads; 0 = hardware concurrency  [0]
   --json FILE        also write the JSON summary to FILE
+
+async run flags (require --exec=async):
+  --async-buffer N     updates buffered per aggregation (K)      [preset K]
+  --async-conc N       clients training concurrently             [3K]
+  --staleness MODE     discount family: const | poly             [poly]
+  --staleness-alpha F  poly exponent: s(t) = (1+t)^-alpha        [0.5]
+  --server-lr F        server learning rate eta_g                [1.0]
+  --max-staleness N    weight 0 beyond this staleness; 0 = off   [0]
 
 sweep flags (plus --dataset/--model/--env/--rounds/--scale/--seed above):
   --q LIST           total mask ratios, e.g. 0.1,0.2,0.3
@@ -60,6 +71,7 @@ sweep flags (plus --dataset/--model/--env/--rounds/--scale/--seed above):
   --sticky-s LIST    sticky group sizes S (absolute client counts)
   --sticky-c LIST    sticky participants per round C
   --json FILE        also write the JSON summary to FILE
+  with --exec=async the grid is --async-buffer LIST x --staleness-alpha LIST
 )";
 
 double parse_double(const std::string& key, const std::string& s) {
@@ -130,6 +142,12 @@ class Flags {
                               : parse_double_list(key, it->second);
   }
 
+  /// True if the flag appeared on the command line. Does NOT mark the flag
+  /// consumed — use it to reject flags that are invalid in this mode.
+  bool provided(const std::string& key) const {
+    return flags_.count(key) != 0;
+  }
+
   /// Throws if any provided flag was never consumed by the command.
   void reject_unknown() const {
     for (const auto& [key, value] : flags_) {
@@ -178,6 +196,7 @@ RunOptions resolve_common(Flags& flags) {
   opt.dataset = flags.str("dataset", opt.dataset);
   opt.model = flags.str("model", opt.model);
   opt.env = flags.str("env", opt.env);
+  opt.exec = flags.str("exec", opt.exec);
   opt.rounds = static_cast<int>(flags.integer("rounds", opt.rounds, 1, 1000000));
   opt.scale = flags.num("scale", opt.scale);
   opt.overcommit = flags.num("overcommit", opt.overcommit);
@@ -185,16 +204,83 @@ RunOptions resolve_common(Flags& flags) {
       static_cast<int>(flags.integer("eval-every", opt.eval_every, 1, 1000000));
   opt.seed = static_cast<uint64_t>(
       flags.integer("seed", 42, 0, std::numeric_limits<long>::max()));
+  opt.threads = static_cast<int>(flags.integer("threads", 0, 0, 1024));
   opt.json_path = flags.str("json", "");
 
   require_name("dataset", opt.dataset, dataset_names());
   require_name("model", opt.model, model_names());
   require_name("network env", opt.env, env_names());
+  require_name("exec mode", opt.exec, {"sync", "async"});
+  // Async execution has no invitation barrier, so over-commitment cannot
+  // shape the run; reject it rather than silently ignore it.
+  if (opt.exec == "async" && flags.provided("overcommit")) {
+    throw UsageError("--overcommit requires --exec=sync (async execution "
+                     "has no straggler barrier to over-commit against)");
+  }
   if (opt.scale <= 0.0 || opt.scale > 1.0) {
     throw UsageError("--scale must be in (0, 1]");
   }
   if (opt.overcommit < 1.0) throw UsageError("--overcommit must be >= 1.0");
   return opt;
+}
+
+/// Async-execution knobs resolved from flags + (K, population) defaults.
+struct AsyncOptions {
+  AsyncConfig engine;
+  AsyncFedBuffConfig fedbuff;
+  std::string staleness = "poly";  // discount family name for reports
+};
+
+constexpr const char* kAsyncFlagNames[] = {
+    "async-buffer", "async-conc",  "staleness",
+    "staleness-alpha", "server-lr", "max-staleness"};
+
+/// Async flags silently ignored under --exec=sync would be misleading;
+/// reject them explicitly.
+void reject_async_flags_in_sync_mode(const Flags& flags,
+                                     const std::string& exec) {
+  if (exec == "async") return;
+  for (const char* f : kAsyncFlagNames) {
+    if (flags.provided(f)) {
+      throw UsageError(std::string("--") + f + " requires --exec=async");
+    }
+  }
+}
+
+/// Resolves the async knobs shared by run and sweep — everything except
+/// the buffer / alpha axes, which run reads as scalars and sweep as lists.
+AsyncOptions resolve_async_shared(Flags& flags, int k, int num_clients) {
+  AsyncOptions a;
+  const long default_conc =
+      std::min(static_cast<long>(3) * k, static_cast<long>(num_clients));
+  a.engine.concurrency = static_cast<int>(
+      flags.integer("async-conc", default_conc, 1, 1000000));
+  if (a.engine.concurrency > num_clients) {
+    throw UsageError("--async-conc exceeds the client population (" +
+                     std::to_string(num_clients) + ")");
+  }
+  a.staleness = flags.str("staleness", a.staleness);
+  require_name("staleness mode", a.staleness, {"const", "poly"});
+  a.fedbuff.discount = a.staleness == "const" ? StalenessDiscount::kConstant
+                                              : StalenessDiscount::kPolynomial;
+  a.fedbuff.server_lr = flags.num("server-lr", a.fedbuff.server_lr);
+  a.fedbuff.max_staleness = static_cast<int>(
+      flags.integer("max-staleness", 0, 0, 1000000));
+  if (a.fedbuff.server_lr <= 0.0) {
+    throw UsageError("--server-lr must be > 0");
+  }
+  return a;
+}
+
+AsyncOptions resolve_async(Flags& flags, int k, int num_clients) {
+  AsyncOptions a = resolve_async_shared(flags, k, num_clients);
+  a.engine.buffer_size = static_cast<int>(
+      flags.integer("async-buffer", k, 1, 100000));
+  a.fedbuff.alpha = flags.num("staleness-alpha", a.fedbuff.alpha);
+  if (a.fedbuff.alpha < 0.0) {
+    throw UsageError("--staleness-alpha must be >= 0");
+  }
+  return a;
 }
 
 SimEngine make_cli_engine(const RunOptions& opt, const SyntheticSpec& spec,
@@ -209,6 +295,7 @@ SimEngine make_cli_engine(const RunOptions& opt, const SyntheticSpec& spec,
   run.topk_accuracy = topk;
   run.seed = opt.seed;
   run.use_availability = true;
+  run.num_threads = opt.threads;
   return SimEngine(make_synthetic_dataset(spec),
                    make_proxy(opt.model, spec.feature_dim, spec.num_classes),
                    make_env(opt.env), train, run);
@@ -277,18 +364,31 @@ std::string trajectory_json(const RunResult& res) {
   return os.str();
 }
 
+std::string async_json(const AsyncOptions& a) {
+  std::ostringstream os;
+  os << "{\"buffer_size\": " << a.engine.buffer_size
+     << ", \"concurrency\": " << a.engine.concurrency
+     << ", \"staleness\": " << jstr(a.staleness)
+     << ", \"alpha\": " << jnum(a.fedbuff.alpha)
+     << ", \"server_lr\": " << jnum(a.fedbuff.server_lr)
+     << ", \"max_staleness\": " << a.fedbuff.max_staleness << "}";
+  return os.str();
+}
+
 std::string run_json(const RunOptions& opt, const std::string& strategy,
-                     const SyntheticSpec& spec, int k,
-                     const RunResult& res) {
+                     const SyntheticSpec& spec, int k, const RunResult& res,
+                     const std::string& async_block = "") {
   const RunTotals totals = res.totals();
   std::ostringstream os;
   os << "{\"schema\": \"gluefl.run.v1\", \"strategy\": " << jstr(strategy)
+     << ", \"exec\": " << jstr(opt.exec)
      << ", \"dataset\": " << jstr(opt.dataset)
      << ", \"model\": " << jstr(opt.model) << ", \"env\": " << jstr(opt.env)
      << ", \"rounds\": " << opt.rounds << ", \"clients\": " << spec.num_clients
      << ", \"clients_per_round\": " << k << ", \"scale\": " << jnum(opt.scale)
-     << ", \"seed\": " << opt.seed
-     << ", \"best_accuracy\": " << jnum(res.best_accuracy())
+     << ", \"seed\": " << opt.seed;
+  if (!async_block.empty()) os << ", \"async\": " << async_block;
+  os << ", \"best_accuracy\": " << jnum(res.best_accuracy())
      << ", \"totals\": " << totals_json(totals)
      << ", \"trajectory\": " << trajectory_json(res) << "}";
   return os.str();
@@ -308,6 +408,11 @@ void emit_json(const std::string& json, const std::string& path,
 const std::vector<std::string>& strategy_names() {
   static const std::vector<std::string> names{"fedavg", "stc", "apf", "gluefl",
                                               "gluefl-paper"};
+  return names;
+}
+
+const std::vector<std::string>& async_strategy_names() {
+  static const std::vector<std::string> names{"async-fedbuff"};
   return names;
 }
 
@@ -380,6 +485,13 @@ int cmd_list(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   s.add_row({"gluefl-paper", "GlueFL with the paper's verbatim constants"});
   out << s.to_string();
 
+  out << "\nasync strategies (--exec=async):\n";
+  TablePrinter a;
+  a.set_headers({"name", "description"});
+  a.add_row({"async-fedbuff",
+             "buffered async aggregation with staleness discounting"});
+  out << a.to_string();
+
   out << "\ndataset presets (paper scale-1 populations):\n";
   TablePrinter d;
   d.set_headers({"name", "clients", "classes", "K", "accuracy"});
@@ -415,35 +527,63 @@ int cmd_list(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   (void)err;
   Flags flags(args.flags);
-  const std::string strategy_name = flags.str("strategy", "gluefl");
   RunOptions opt = resolve_common(flags);
-  flags.reject_unknown();
-  require_name("strategy", strategy_name, strategy_names());
+  const bool async = opt.exec == "async";
+  const std::string strategy_name =
+      flags.str("strategy", async ? "async-fedbuff" : "gluefl");
+  reject_async_flags_in_sync_mode(flags, opt.exec);
+  require_name("strategy", strategy_name,
+               async ? async_strategy_names() : strategy_names());
 
   const SyntheticSpec spec = make_spec(opt.dataset, opt.scale);
   const int k = preset_clients_per_round(spec);
   const int topk = preset_topk(spec);
+  AsyncOptions aopt;
+  if (async) aopt = resolve_async(flags, k, spec.num_clients);
+  flags.reject_unknown();
   SimEngine engine = make_cli_engine(opt, spec, k, topk);
 
   out << "run: " << strategy_name << " on " << opt.dataset << " x " << opt.model
-      << " over " << opt.env << " (N=" << spec.num_clients << ", K=" << k
-      << ", OC=" << fmt_double(opt.overcommit, 2) << ", " << opt.rounds
-      << " rounds, seed=" << opt.seed << ")\n\n";
+      << " over " << opt.env << " (N=" << spec.num_clients << ", K=" << k;
+  if (!async) out << ", OC=" << fmt_double(opt.overcommit, 2);
+  out << ", " << opt.rounds << " rounds, seed=" << opt.seed << ")\n";
+  if (async) {
+    out << "async: buffer=" << aopt.engine.buffer_size
+        << " concurrency=" << aopt.engine.concurrency << " staleness="
+        << aopt.staleness << " alpha=" << fmt_double(aopt.fedbuff.alpha, 2)
+        << " server-lr=" << fmt_double(aopt.fedbuff.server_lr, 2) << "\n";
+  }
+  out << "\n";
 
-  auto strategy =
-      make_strategy_for(strategy_name, k, opt.model, spec.num_clients);
-  const RunResult res = engine.run(*strategy);
+  RunResult res;
+  if (async) {
+    AsyncSimEngine async_engine(engine, aopt.engine);
+    auto strategy = make_async_strategy(strategy_name, aopt.fedbuff);
+    res = async_engine.run(*strategy);
+  } else {
+    auto strategy =
+        make_strategy_for(strategy_name, k, opt.model, spec.num_clients);
+    res = engine.run(*strategy);
+  }
 
   TablePrinter t;
-  t.set_headers({"round", "acc", "cum down", "cum up", "cum wall"});
+  if (async) {
+    t.set_headers({"round", "acc", "cum down", "cum up", "cum wall",
+                   "staleness"});
+  } else {
+    t.set_headers({"round", "acc", "cum down", "cum up", "cum wall"});
+  }
   double cum_down = 0.0, cum_up = 0.0, cum_wall = 0.0;
   for (const auto& r : res.rounds) {
     cum_down += r.down_bytes;
     cum_up += r.up_bytes;
     cum_wall += r.wall_time_s;
     if (std::isnan(r.test_acc)) continue;
-    t.add_row({std::to_string(r.round), fmt_percent(r.test_acc),
-               fmt_bytes(cum_down), fmt_bytes(cum_up), fmt_seconds(cum_wall)});
+    std::vector<std::string> row{std::to_string(r.round),
+                                 fmt_percent(r.test_acc), fmt_bytes(cum_down),
+                                 fmt_bytes(cum_up), fmt_seconds(cum_wall)};
+    if (async) row.push_back(fmt_double(r.mean_staleness, 2));
+    t.add_row(row);
   }
   out << t.to_string();
 
@@ -454,7 +594,94 @@ int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
       << " h  TT=" << fmt_double(totals.wall_hours, 2)
       << " h  best-acc=" << fmt_percent(res.best_accuracy()) << "\n";
 
-  emit_json(run_json(opt, strategy_name, spec, k, res), opt.json_path, out);
+  emit_json(run_json(opt, strategy_name, spec, k, res,
+                     async ? async_json(aopt) : ""),
+            opt.json_path, out);
+  return 0;
+}
+
+/// Async sweep: grid over --async-buffer x --staleness-alpha with a fixed
+/// concurrency, reusing the Table-2-style cost reporting.
+int cmd_sweep_async(Flags& flags, const RunOptions& opt, std::ostream& out) {
+  for (const char* f : {"q", "q-shr", "sticky-s", "sticky-c"}) {
+    if (flags.provided(f)) {
+      throw UsageError(std::string("--") + f + " requires --exec=sync");
+    }
+  }
+
+  const SyntheticSpec spec = make_spec(opt.dataset, opt.scale);
+  const int k = preset_clients_per_round(spec);
+  const int topk = preset_topk(spec);
+
+  const std::vector<double> buffers =
+      flags.list("async-buffer", {static_cast<double>(k)});
+  const std::vector<double> alphas = flags.list("staleness-alpha", {0.5});
+  const AsyncOptions base = resolve_async_shared(flags, k, spec.num_clients);
+  const int conc = base.engine.concurrency;
+  flags.reject_unknown();
+
+  for (const double b : buffers) {
+    if (b < 1.0 || b > 100000.0 || b != std::floor(b)) {
+      throw UsageError("--async-buffer values must be integers in "
+                       "[1, 100000]");
+    }
+  }
+  for (const double a : alphas) {
+    if (a < 0.0) throw UsageError("--staleness-alpha values must be >= 0");
+  }
+  const size_t arms = buffers.size() * alphas.size();
+  if (arms > 64) {
+    throw UsageError("sweep grid has " + std::to_string(arms) +
+                     " arms; keep it <= 64");
+  }
+
+  out << "sweep: async-fedbuff on " << opt.dataset << " x " << opt.model
+      << " over " << opt.env << " (N=" << spec.num_clients << ", conc=" << conc
+      << ", " << opt.rounds << " aggregations, " << arms << " arms)\n\n";
+
+  SimEngine engine = make_cli_engine(opt, spec, k, topk);
+  std::vector<LabeledRun> runs;
+  for (const double b : buffers) {
+    for (const double a : alphas) {
+      AsyncConfig acfg = base.engine;
+      acfg.buffer_size = static_cast<int>(b);
+      AsyncFedBuffConfig fcfg = base.fedbuff;
+      fcfg.alpha = a;
+      std::ostringstream label;
+      label << "K=" << acfg.buffer_size << " alpha=" << fmt_double(a, 2);
+      AsyncSimEngine async_engine(engine, acfg);
+      AsyncFedBuffStrategy strategy(fcfg);
+      runs.push_back({label.str(), async_engine.run(strategy)});
+      const RunTotals t = runs.back().result.totals();
+      out << "  " << label.str() << ": best-acc "
+          << fmt_percent(runs.back().result.best_accuracy()) << ", DV "
+          << fmt_double(t.down_gb, 2) << " GB, TT "
+          << fmt_double(t.wall_hours, 2) << " h\n";
+    }
+  }
+
+  const double target = common_target_accuracy(runs, 0.01);
+  out << "\ncosts to reach the common target accuracy (" << fmt_percent(target)
+      << "):\n"
+      << make_cost_table(runs, target).to_string();
+
+  std::ostringstream json;
+  json << "{\"schema\": \"gluefl.sweep.v1\", \"exec\": \"async\""
+       << ", \"dataset\": " << jstr(opt.dataset)
+       << ", \"model\": " << jstr(opt.model) << ", \"env\": " << jstr(opt.env)
+       << ", \"rounds\": " << opt.rounds << ", \"concurrency\": " << conc
+       << ", \"staleness\": " << jstr(base.staleness)
+       << ", \"target_accuracy\": " << jnum(target) << ", \"arms\": [";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (i > 0) json << ", ";
+    json << "{\"label\": " << jstr(runs[i].label)
+         << ", \"best_accuracy\": " << jnum(runs[i].result.best_accuracy())
+         << ", \"totals\": " << totals_json(runs[i].result.totals())
+         << ", \"totals_to_target\": "
+         << totals_json(runs[i].result.totals_to_accuracy(target)) << "}";
+  }
+  json << "]}";
+  emit_json(json.str(), opt.json_path, out);
   return 0;
 }
 
@@ -462,6 +689,8 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   (void)err;
   Flags flags(args.flags);
   RunOptions opt = resolve_common(flags);
+  if (opt.exec == "async") return cmd_sweep_async(flags, opt, out);
+  reject_async_flags_in_sync_mode(flags, opt.exec);
 
   const SyntheticSpec spec = make_spec(opt.dataset, opt.scale);
   const int k = preset_clients_per_round(spec);
@@ -540,7 +769,8 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
       << make_cost_table(runs, target).to_string();
 
   std::ostringstream json;
-  json << "{\"schema\": \"gluefl.sweep.v1\", \"dataset\": " << jstr(opt.dataset)
+  json << "{\"schema\": \"gluefl.sweep.v1\", \"exec\": \"sync\""
+       << ", \"dataset\": " << jstr(opt.dataset)
        << ", \"model\": " << jstr(opt.model) << ", \"env\": " << jstr(opt.env)
        << ", \"rounds\": " << opt.rounds
        << ", \"target_accuracy\": " << jnum(target) << ", \"arms\": [";

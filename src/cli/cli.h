@@ -45,11 +45,13 @@ struct RunOptions {
   std::string dataset = "femnist";
   std::string model = "shufflenet";
   std::string env = "edge";
+  std::string exec = "sync";  // round execution model: sync | async
   int rounds = 50;
   double scale = 0.25;     // population scale of the dataset preset
   double overcommit = 1.3;
   int eval_every = 5;
   uint64_t seed = 42;
+  int threads = 0;         // training threads; 0 = hardware concurrency
   std::string json_path;   // empty = stdout only
 };
 
@@ -67,6 +69,7 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err);
 /// Known registry names (kept in sync with strategies/factory and
 /// data/presets; `gluefl list` prints these).
 const std::vector<std::string>& strategy_names();
+const std::vector<std::string>& async_strategy_names();
 const std::vector<std::string>& dataset_names();
 const std::vector<std::string>& env_names();
 const std::vector<std::string>& model_names();

@@ -1,0 +1,171 @@
+#include "fl/async_engine.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "compress/encoding.h"
+#include "net/bandwidth.h"
+
+namespace gluefl {
+
+namespace {
+// Purposes for the engine's async RNG streams.
+constexpr uint64_t kPurposeSampling = 0x01;
+}  // namespace
+
+AsyncSimEngine::AsyncSimEngine(SimEngine& engine, AsyncConfig cfg)
+    : engine_(engine), cfg_(cfg) {
+  GLUEFL_CHECK_MSG(cfg_.buffer_size >= 1,
+                   "async buffer_size must be at least 1");
+  GLUEFL_CHECK_MSG(cfg_.concurrency >= 1,
+                   "async concurrency must be at least 1");
+  GLUEFL_CHECK_MSG(cfg_.concurrency <= engine_.num_clients(),
+                   "async concurrency exceeds the client population");
+}
+
+RunResult AsyncSimEngine::run(AsyncStrategy& strategy) {
+  SimEngine& eng = engine_;
+  const RunConfig& rc = eng.run_config();
+  eng.reset_state();
+  strategy.init(eng);
+
+  RunResult result;
+  result.strategy = strategy.name();
+  result.rounds.reserve(static_cast<size_t>(rc.rounds));
+
+  // A dispatched client training (or in transfer) right now. Training runs
+  // eagerly at dispatch — the delta depends only on the model at dispatch
+  // time — while the finish event is scheduled for download + compute +
+  // upload later in simulated time.
+  struct InFlight {
+    double finish = 0.0;
+    uint64_t seq = 0;
+    int client = 0;
+    int version = 0;
+    double dt = 0.0, ct = 0.0, ut = 0.0;
+    size_t up_b = 0;
+    LocalResult local;
+  };
+  auto later = [](const InFlight& a, const InFlight& b) {
+    if (a.finish != b.finish) return a.finish > b.finish;
+    return a.seq > b.seq;  // deterministic tie-break
+  };
+  std::priority_queue<InFlight, std::vector<InFlight>, decltype(later)> events(
+      later);
+
+  const int n = eng.num_clients();
+  const double flops = eng.flops_per_client_round();
+  const size_t up_payload = dense_bytes(eng.dim()) + eng.stat_bytes();
+  std::vector<char> in_flight(static_cast<size_t>(n), 0);
+  std::vector<AsyncUpdate> buffer;
+  buffer.reserve(static_cast<size_t>(cfg_.buffer_size));
+  Rng pick_rng = eng.async_rng(kPurposeSampling);
+
+  uint64_t seq = 0;
+  int version = 0;          // completed aggregations == current model version
+  double now = 0.0;         // simulated seconds
+  double last_agg = 0.0;    // sim time of the previous aggregation
+  int free_slots = cfg_.concurrency;
+  RoundRecord rec;
+  rec.round = 0;
+
+  // Dispatches every free slot to an available, not-yet-in-flight client.
+  // Invitee downloads are charged immediately (stale diff + BN stats via
+  // the SyncTracker), mirroring the synchronous path's accounting.
+  auto fill_slots = [&]() {
+    if (free_slots <= 0 || version >= rc.rounds) return;
+    std::vector<int> pool;
+    for (int c = 0; c < n; ++c) {
+      if (!in_flight[static_cast<size_t>(c)] &&
+          eng.client_available(c, version)) {
+        pool.push_back(c);
+      }
+    }
+    const int take = std::min(free_slots, static_cast<int>(pool.size()));
+    if (take <= 0) return;
+    const std::vector<int> picked =
+        pick_rng.sample_without_replacement(pool, take);
+    auto locals = eng.local_train_seq(picked, version, seq);
+    for (size_t i = 0; i < picked.size(); ++i) {
+      const int c = picked[i];
+      const ClientProfile& p = eng.profiles()[static_cast<size_t>(c)];
+      const size_t down_b = eng.sync().sync_bytes(c, version) +
+                            eng.stat_bytes();
+      InFlight f;
+      f.seq = seq + i;
+      f.client = c;
+      f.version = version;
+      f.dt = transfer_seconds(static_cast<double>(down_b) * eng.wire_scale(),
+                              p.down_mbps);
+      f.ct = flops / (p.gflops * 1e9);
+      f.ut = transfer_seconds(
+          static_cast<double>(up_payload) * eng.wire_scale(), p.up_mbps);
+      f.finish = now + f.dt + f.ct + f.ut;
+      f.up_b = up_payload;
+      f.local = std::move(locals[i]);
+      rec.down_bytes += static_cast<double>(down_b) * eng.wire_scale();
+      rec.num_invited += 1;
+      eng.sync().mark_synced(c, version);
+      in_flight[static_cast<size_t>(c)] = 1;
+      events.push(std::move(f));
+    }
+    seq += static_cast<uint64_t>(take);
+    free_slots -= take;
+  };
+
+  auto aggregate = [&]() {
+    double stale_sum = 0.0;
+    for (auto& u : buffer) {
+      u.staleness = version - u.version;
+      stale_sum += u.staleness;
+    }
+    rec.round = version;
+    rec.num_included = static_cast<int>(buffer.size());
+    rec.mean_staleness =
+        buffer.empty() ? 0.0 : stale_sum / static_cast<double>(buffer.size());
+    strategy.aggregate(eng, version, buffer, rec);
+    rec.wall_time_s = now - last_agg;
+    last_agg = now;
+    if (version % rc.eval_every == 0 || version + 1 == rc.rounds) {
+      rec.test_acc = eng.evaluate().accuracy;
+    }
+    result.rounds.push_back(rec);
+    rec = RoundRecord{};
+    buffer.clear();
+    ++version;
+    rec.round = version;
+  };
+
+  fill_slots();
+  while (version < rc.rounds && !events.empty()) {
+    // Move, don't copy: InFlight carries the model-dim delta vectors, and
+    // the element is popped immediately after.
+    InFlight f = std::move(const_cast<InFlight&>(events.top()));
+    events.pop();
+    now = f.finish;
+    in_flight[static_cast<size_t>(f.client)] = 0;
+    ++free_slots;
+
+    AsyncUpdate u;
+    u.client = f.client;
+    u.version = f.version;
+    u.result = std::move(f.local);
+    buffer.push_back(std::move(u));
+    rec.up_bytes += static_cast<double>(f.up_b) * eng.wire_scale();
+    rec.down_time_s = std::max(rec.down_time_s, f.dt);
+    rec.up_time_s = std::max(rec.up_time_s, f.ut);
+    rec.compute_time_s = std::max(rec.compute_time_s, f.ct);
+
+    if (static_cast<int>(buffer.size()) >= cfg_.buffer_size) aggregate();
+    fill_slots();
+  }
+  // The pool drained (availability churn) before the planned horizon:
+  // flush whatever is buffered so the partial run still aggregates.
+  if (version < rc.rounds && !buffer.empty()) aggregate();
+  return result;
+}
+
+}  // namespace gluefl

@@ -1,0 +1,59 @@
+// AsyncSimEngine: FedBuff-style asynchronous round execution.
+//
+// Instead of the synchronous fastest-finishers barrier, `concurrency`
+// clients train at all times, each against the model version that was
+// current when it was dispatched. The server folds finished updates into a
+// buffer and aggregates as soon as `buffer_size` of them are waiting — the
+// K-of-N trigger — discounting each update by the strategy's staleness
+// weight s(tau), where tau is the number of aggregations that happened
+// between the update's dispatch and its fold.
+//
+// The engine is an event-driven simulation over the same substrate as the
+// synchronous path: per-client system profiles give download/compute/
+// upload times, dispatch downloads are priced through the SyncTracker
+// staleness diff (so masking strategies' staleness economics carry over),
+// and one aggregation consumes one RunConfig "round" — RunResult,
+// totals and the reporting helpers all work unchanged.
+//
+// Determinism: the event loop is serial (a single min-heap ordered by
+// (finish time, dispatch seq)); client training draws from RNG streams
+// keyed by the dispatch sequence number, so results are exactly
+// reproducible and independent of the training thread count.
+#pragma once
+
+#include "fl/engine.h"
+#include "fl/metrics.h"
+#include "fl/sim_config.h"
+#include "fl/strategy.h"
+
+namespace gluefl {
+
+/// One finished client update waiting in (or folded from) the buffer.
+struct AsyncUpdate {
+  int client = 0;
+  int version = 0;    // aggregation version the client trained against
+  int staleness = 0;  // aggregation version at fold time - version
+  LocalResult result;
+};
+
+class AsyncSimEngine {
+ public:
+  /// Wraps an engine without taking ownership; `engine` must outlive this.
+  /// One AsyncSimEngine per run is cheap — state resets per run, so many
+  /// async (and sync) runs can share one engine with paired noise.
+  AsyncSimEngine(SimEngine& engine, AsyncConfig cfg);
+
+  const AsyncConfig& config() const { return cfg_; }
+
+  /// Executes run_config().rounds buffer aggregations of `strategy`,
+  /// evaluating every eval_every aggregations. If the dispatch pool ever
+  /// drains completely (every client offline and none in flight) the run
+  /// flushes a final partial buffer and returns early.
+  RunResult run(AsyncStrategy& strategy);
+
+ private:
+  SimEngine& engine_;
+  AsyncConfig cfg_;
+};
+
+}  // namespace gluefl

@@ -20,6 +20,10 @@ constexpr uint64_t kStreamProfiles = 0x01;
 constexpr uint64_t kStreamAvailability = 0x02;
 constexpr uint64_t kStreamInit = 0x03;
 constexpr uint64_t kStreamRoundBase = 0x1000;
+// Async-mode streams live far above every possible round stream
+// (kStreamRoundBase + rounds * 64 stays < 2^32 for rounds <= 1e6).
+constexpr uint64_t kStreamAsyncBase = uint64_t{1} << 32;
+constexpr uint64_t kStreamAsyncTrainBase = uint64_t{1} << 33;
 }  // namespace
 
 struct SimEngine::Worker {
@@ -101,6 +105,10 @@ size_t SimEngine::stat_bytes() const { return dense_bytes(stat_dim_); }
 Rng SimEngine::round_rng(int round, uint64_t purpose) const {
   return master_rng_.fork(kStreamRoundBase +
                           static_cast<uint64_t>(round) * 64 + purpose);
+}
+
+Rng SimEngine::async_rng(uint64_t purpose) const {
+  return master_rng_.fork(kStreamAsyncBase + purpose);
 }
 
 bool SimEngine::client_available(int client, int round) const {
@@ -207,7 +215,8 @@ Participation SimEngine::simulate_participation(
   return part;
 }
 
-void SimEngine::train_one(Worker& w, int client, int round, LocalResult& out) {
+void SimEngine::train_one(Worker& w, int client, double lr, Rng rng,
+                          LocalResult& out) {
   const ClientShard& shard = dataset_.clients[static_cast<size_t>(client)];
   GLUEFL_CHECK(shard.n > 0);
   const int feat = dataset_.spec.feature_dim;
@@ -219,15 +228,11 @@ void SimEngine::train_one(Worker& w, int client, int round, LocalResult& out) {
   w.xbuf.resize(static_cast<size_t>(bs) * feat);
   w.ybuf.resize(static_cast<size_t>(bs));
 
-  Rng rng = master_rng_.fork(kStreamRoundBase +
-                             static_cast<uint64_t>(round) * 64 + 63)
-                .fork(static_cast<uint64_t>(client));
   w.order.resize(static_cast<size_t>(shard.n));
   for (int i = 0; i < shard.n; ++i) w.order[static_cast<size_t>(i)] = i;
   rng.shuffle(w.order);
 
   SgdMomentum opt(dim_, train_cfg_.momentum);
-  const double lr = lr_at(round);
   int cursor = 0;
   double loss_sum = 0.0;
   for (int e = 0; e < train_cfg_.local_steps; ++e) {
@@ -256,30 +261,48 @@ void SimEngine::train_one(Worker& w, int client, int round, LocalResult& out) {
   out.n_samples = shard.n;
 }
 
-std::vector<LocalResult> SimEngine::local_train(const std::vector<int>& clients,
-                                                int round) {
+std::vector<LocalResult> SimEngine::train_batch(
+    const std::vector<int>& clients, double lr,
+    const std::function<Rng(size_t)>& rng_at) {
   std::vector<LocalResult> results(clients.size());
   const int nthreads =
       std::min<int>(num_threads_, static_cast<int>(clients.size()));
   if (nthreads <= 1) {
     for (size_t i = 0; i < clients.size(); ++i) {
-      train_one(*workers_[0], clients[i], round, results[i]);
+      train_one(*workers_[0], clients[i], lr, rng_at(i), results[i]);
     }
     return results;
   }
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(nthreads));
   for (int t = 0; t < nthreads; ++t) {
-    threads.emplace_back([this, t, nthreads, round, &clients, &results]() {
+    threads.emplace_back([this, t, nthreads, lr, &rng_at, &clients,
+                          &results]() {
       for (size_t i = static_cast<size_t>(t); i < clients.size();
            i += static_cast<size_t>(nthreads)) {
-        train_one(*workers_[static_cast<size_t>(t)], clients[i], round,
-                  results[i]);
+        train_one(*workers_[static_cast<size_t>(t)], clients[i], lr,
+                  rng_at(i), results[i]);
       }
     });
   }
   for (auto& th : threads) th.join();
   return results;
+}
+
+std::vector<LocalResult> SimEngine::local_train(const std::vector<int>& clients,
+                                                int round) {
+  const Rng base = master_rng_.fork(kStreamRoundBase +
+                                    static_cast<uint64_t>(round) * 64 + 63);
+  return train_batch(clients, lr_at(round), [&base, &clients](size_t i) {
+    return base.fork(static_cast<uint64_t>(clients[i]));
+  });
+}
+
+std::vector<LocalResult> SimEngine::local_train_seq(
+    const std::vector<int>& clients, int lr_round, uint64_t seq_base) {
+  return train_batch(clients, lr_at(lr_round), [this, seq_base](size_t i) {
+    return master_rng_.fork(kStreamAsyncTrainBase + seq_base + i);
+  });
 }
 
 EvalResult SimEngine::evaluate() {

@@ -63,6 +63,11 @@ class SimEngine {
   /// rounds of `strategy`, evaluating every eval_every rounds.
   RunResult run(Strategy& strategy);
 
+  /// Re-initializes params/stats/sync tracker to the run-start state.
+  /// run() calls this; AsyncSimEngine::run() does the same, so one engine
+  /// can execute many (sync or async) runs with paired noise.
+  void reset_state();
+
   // ---- context API used by strategies ----
   size_t dim() const { return dim_; }
   size_t stat_dim() const { return stat_dim_; }
@@ -90,6 +95,10 @@ class SimEngine {
 
   /// Deterministic RNG for (round, purpose).
   Rng round_rng(int round, uint64_t purpose) const;
+
+  /// Deterministic RNG for async-execution streams; disjoint from every
+  /// per-round stream used by the synchronous path.
+  Rng async_rng(uint64_t purpose) const;
 
   bool client_available(int client, int round) const;
   AvailabilityFn availability_fn(int round);
@@ -120,14 +129,25 @@ class SimEngine {
   std::vector<LocalResult> local_train(const std::vector<int>& clients,
                                        int round);
 
+  /// Async-mode variant: trains `clients` from the current global model
+  /// with per-client RNG streams keyed by the dispatch sequence numbers
+  /// `seq_base + index` (unique per dispatch, so a client re-dispatched at
+  /// the same model version still sees fresh batch noise). `lr_round`
+  /// positions the learning-rate schedule (the aggregation version at
+  /// dispatch). Deterministic regardless of the thread count.
+  std::vector<LocalResult> local_train_seq(const std::vector<int>& clients,
+                                           int lr_round, uint64_t seq_base);
+
   /// Test-set evaluation of the current global model.
   EvalResult evaluate();
 
  private:
   struct Worker;  // per-thread training context
 
-  void reset_state();
-  void train_one(Worker& w, int client, int round, LocalResult& out);
+  void train_one(Worker& w, int client, double lr, Rng rng, LocalResult& out);
+  std::vector<LocalResult> train_batch(
+      const std::vector<int>& clients, double lr,
+      const std::function<Rng(size_t)>& rng_at);
 
   FederatedDataset dataset_;
   ModelProxy proxy_;

@@ -15,6 +15,24 @@ struct TrainConfig {
   double momentum = 0.9;   // PyTorch SGD momentum (paper uses 0.9)
 };
 
+/// Staleness discount families s(tau) for asynchronous aggregation.
+///   kConstant:   s(tau) = 1 (no discounting)
+///   kPolynomial: s(tau) = (1 + tau)^(-alpha)  (FedBuff's default family)
+enum class StalenessDiscount { kConstant, kPolynomial };
+
+/// Asynchronous (FedBuff-style, K-of-N) execution parameters.
+///
+/// `concurrency` clients train at any moment, each against the model
+/// version current at its dispatch time. The server folds updates into a
+/// buffer as they arrive and aggregates as soon as `buffer_size` updates
+/// are buffered; one aggregation consumes one RunConfig round, so a run
+/// executes RunConfig::rounds aggregations. Staleness of an update is the
+/// number of aggregations between its dispatch and its fold.
+struct AsyncConfig {
+  int buffer_size = 10;  // K: buffered updates per aggregation
+  int concurrency = 30;  // N: clients training concurrently
+};
+
 /// Round-loop / systems configuration.
 struct RunConfig {
   int rounds = 300;

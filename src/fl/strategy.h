@@ -9,11 +9,13 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 namespace gluefl {
 
 class SimEngine;
 struct RoundRecord;
+struct AsyncUpdate;  // fl/async_engine.h
 
 class Strategy {
  public:
@@ -28,6 +30,28 @@ class Strategy {
   /// upload -> aggregate; must record the changed-position bitmap via
   /// engine.sync().record_round_changes(round, ...).
   virtual void run_round(SimEngine& engine, int round, RoundRecord& rec) = 0;
+};
+
+/// Async execution contract. An AsyncStrategy does not own the round loop
+/// — the AsyncSimEngine drives dispatch, timing and the K-of-N buffer
+/// trigger — it only decides how staleness discounts updates and how a
+/// full buffer is folded into the global model.
+class AsyncStrategy {
+ public:
+  virtual ~AsyncStrategy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before the first dispatch.
+  virtual void init(SimEngine& engine) { (void)engine; }
+
+  /// Folds one full buffer into engine.params()/stats(), producing
+  /// aggregation `version` (w^{version} -> w^{version+1}); must record the
+  /// changed-position bitmap via
+  /// engine.sync().record_round_changes(version, ...).
+  virtual void aggregate(SimEngine& engine, int version,
+                         const std::vector<AsyncUpdate>& buffer,
+                         RoundRecord& rec) = 0;
 };
 
 }  // namespace gluefl

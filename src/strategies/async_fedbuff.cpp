@@ -1,0 +1,57 @@
+#include "strategies/async_fedbuff.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "compress/bitmask.h"
+#include "tensor/ops.h"
+
+namespace gluefl {
+
+AsyncFedBuffStrategy::AsyncFedBuffStrategy(AsyncFedBuffConfig cfg)
+    : cfg_(cfg) {
+  GLUEFL_CHECK_MSG(cfg_.alpha >= 0.0,
+                   "async-fedbuff alpha must be non-negative");
+  GLUEFL_CHECK_MSG(cfg_.server_lr > 0.0,
+                   "async-fedbuff server_lr must be positive");
+}
+
+double AsyncFedBuffStrategy::staleness_weight(int staleness) const {
+  const int tau = staleness < 0 ? 0 : staleness;
+  if (cfg_.max_staleness > 0 && tau > cfg_.max_staleness) return 0.0;
+  if (cfg_.discount == StalenessDiscount::kConstant) return 1.0;
+  return std::pow(1.0 + static_cast<double>(tau), -cfg_.alpha);
+}
+
+void AsyncFedBuffStrategy::aggregate(SimEngine& engine, int version,
+                                     const std::vector<AsyncUpdate>& buffer,
+                                     RoundRecord& rec) {
+  BitMask changed(engine.dim());
+  double wsum = 0.0;
+  for (const auto& u : buffer) wsum += staleness_weight(u.staleness);
+
+  if (!buffer.empty() && wsum > 0.0) {
+    std::vector<float> agg(engine.dim(), 0.0f);
+    std::vector<float> stat_agg(engine.stat_dim(), 0.0f);
+    double loss_sum = 0.0;
+    for (const auto& u : buffer) {
+      const double nu =
+          cfg_.server_lr * staleness_weight(u.staleness) / wsum;
+      axpy(static_cast<float>(nu), u.result.delta.data(), agg.data(),
+           engine.dim());
+      axpy(static_cast<float>(nu), u.result.stat_delta.data(),
+           stat_agg.data(), engine.stat_dim());
+      loss_sum += u.result.loss;
+    }
+    axpy(1.0f, agg.data(), engine.params().data(), engine.dim());
+    axpy(1.0f, stat_agg.data(), engine.stats().data(), engine.stat_dim());
+    rec.train_loss = loss_sum / static_cast<double>(buffer.size());
+    changed.set_all();  // dense update: every position may have moved
+  }
+  rec.changed_frac =
+      static_cast<double>(changed.count()) / static_cast<double>(engine.dim());
+  engine.sync().record_round_changes(version, changed);
+}
+
+}  // namespace gluefl

@@ -63,4 +63,13 @@ std::unique_ptr<Strategy> make_strategy(const std::string& strategy_name,
   __builtin_unreachable();
 }
 
+std::unique_ptr<AsyncStrategy> make_async_strategy(
+    const std::string& strategy_name, const AsyncFedBuffConfig& cfg) {
+  if (strategy_name == "async-fedbuff") {
+    return std::make_unique<AsyncFedBuffStrategy>(cfg);
+  }
+  GLUEFL_CHECK_MSG(false, "unknown async strategy: " + strategy_name);
+  __builtin_unreachable();
+}
+
 }  // namespace gluefl

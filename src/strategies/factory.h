@@ -6,6 +6,7 @@
 
 #include "fl/strategy.h"
 #include "strategies/apf.h"
+#include "strategies/async_fedbuff.h"
 #include "strategies/fedavg.h"
 #include "strategies/gluefl.h"
 #include "strategies/stc.h"
@@ -41,5 +42,10 @@ StcConfig default_stc_config(const std::string& model_name);
 std::unique_ptr<Strategy> make_strategy(const std::string& strategy_name,
                                         int clients_per_round,
                                         const std::string& model_name);
+
+/// Builds a fresh AsyncStrategy by name ("async-fedbuff") for the
+/// AsyncSimEngine's --exec=async path.
+std::unique_ptr<AsyncStrategy> make_async_strategy(
+    const std::string& strategy_name, const AsyncFedBuffConfig& cfg);
 
 }  // namespace gluefl

@@ -1,0 +1,243 @@
+// AsyncSimEngine behaviour: K-of-N buffer trigger, staleness discounting,
+// byte/time accounting, and determinism across thread counts.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "fl/async_engine.h"
+#include "net/environment.h"
+#include "strategies/async_fedbuff.h"
+#include "test_util.h"
+
+namespace gluefl {
+namespace {
+
+using testing::tiny_proxy;
+using testing::tiny_run_config;
+using testing::tiny_spec;
+using testing::tiny_train_config;
+
+SimEngine make_engine(int rounds = 8, int k = 6, uint64_t seed = 42,
+                      int threads = 1) {
+  auto cfg = tiny_run_config(rounds, k, seed);
+  cfg.num_threads = threads;
+  return SimEngine(make_synthetic_dataset(tiny_spec()), tiny_proxy(),
+                   make_datacenter_env(), tiny_train_config(), cfg);
+}
+
+AsyncConfig async_cfg(int buffer = 4, int concurrency = 12) {
+  AsyncConfig cfg;
+  cfg.buffer_size = buffer;
+  cfg.concurrency = concurrency;
+  return cfg;
+}
+
+AsyncFedBuffConfig fedbuff_cfg(
+    StalenessDiscount discount = StalenessDiscount::kPolynomial,
+    double alpha = 0.5) {
+  AsyncFedBuffConfig cfg;
+  cfg.discount = discount;
+  cfg.alpha = alpha;
+  return cfg;
+}
+
+// ---------------------------------------------------------------- config
+
+TEST(AsyncEngine, RejectsInvalidConfig) {
+  auto eng = make_engine();
+  EXPECT_THROW(AsyncSimEngine(eng, async_cfg(/*buffer=*/0)), CheckError);
+  EXPECT_THROW(AsyncSimEngine(eng, async_cfg(4, /*concurrency=*/0)),
+               CheckError);
+  // Concurrency above the population (tiny_spec has 60 clients).
+  EXPECT_THROW(AsyncSimEngine(eng, async_cfg(4, 61)), CheckError);
+}
+
+TEST(AsyncFedBuff, RejectsInvalidConfig) {
+  AsyncFedBuffConfig bad = fedbuff_cfg();
+  bad.alpha = -0.1;
+  EXPECT_THROW(AsyncFedBuffStrategy{bad}, CheckError);
+  bad = fedbuff_cfg();
+  bad.server_lr = 0.0;
+  EXPECT_THROW(AsyncFedBuffStrategy{bad}, CheckError);
+}
+
+// ------------------------------------------------------- staleness weights
+
+TEST(AsyncFedBuff, ConstantDiscountIgnoresStaleness) {
+  AsyncFedBuffStrategy s(fedbuff_cfg(StalenessDiscount::kConstant));
+  EXPECT_DOUBLE_EQ(s.staleness_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.staleness_weight(17), 1.0);
+}
+
+TEST(AsyncFedBuff, PolynomialDiscountMatchesFormula) {
+  AsyncFedBuffStrategy s(fedbuff_cfg(StalenessDiscount::kPolynomial, 0.5));
+  EXPECT_DOUBLE_EQ(s.staleness_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.staleness_weight(3), std::pow(4.0, -0.5));
+  EXPECT_DOUBLE_EQ(s.staleness_weight(8), 1.0 / 3.0);
+  // Monotone non-increasing in tau.
+  for (int tau = 1; tau < 20; ++tau) {
+    EXPECT_LE(s.staleness_weight(tau), s.staleness_weight(tau - 1));
+  }
+}
+
+TEST(AsyncFedBuff, MaxStalenessZeroesWeight) {
+  AsyncFedBuffConfig cfg = fedbuff_cfg(StalenessDiscount::kConstant);
+  cfg.max_staleness = 3;
+  AsyncFedBuffStrategy s(cfg);
+  EXPECT_DOUBLE_EQ(s.staleness_weight(3), 1.0);
+  EXPECT_DOUBLE_EQ(s.staleness_weight(4), 0.0);
+}
+
+TEST(AsyncFedBuff, NegativeStalenessClampsToFresh) {
+  AsyncFedBuffStrategy s(fedbuff_cfg(StalenessDiscount::kPolynomial, 1.0));
+  EXPECT_DOUBLE_EQ(s.staleness_weight(-1), 1.0);
+}
+
+// ---------------------------------------------------------- K-of-N trigger
+
+TEST(AsyncEngine, AggregatesExactlyOnBufferFill) {
+  auto eng = make_engine(/*rounds=*/6);
+  AsyncSimEngine async_eng(eng, async_cfg(/*buffer=*/4, /*concurrency=*/10));
+  AsyncFedBuffStrategy strategy(fedbuff_cfg());
+  const RunResult res = async_eng.run(strategy);
+  ASSERT_EQ(res.rounds.size(), 6u);
+  EXPECT_EQ(res.strategy, "async-fedbuff");
+  for (const auto& r : res.rounds) {
+    EXPECT_EQ(r.num_included, 4);  // every aggregation folded exactly K
+    EXPECT_GE(r.num_invited, 0);
+    EXPECT_TRUE(std::isfinite(r.train_loss));
+    EXPECT_DOUBLE_EQ(r.changed_frac, 1.0);  // dense updates
+  }
+  // Dispatch conservation: the initial fill plus one replacement per fold
+  // means invitations across the run are >= aggregated updates.
+  int invited = 0, included = 0;
+  for (const auto& r : res.rounds) {
+    invited += r.num_invited;
+    included += r.num_included;
+  }
+  EXPECT_GE(invited, included);
+}
+
+TEST(AsyncEngine, StalenessAppearsWhenConcurrencyExceedsBuffer) {
+  auto eng = make_engine(/*rounds=*/8);
+  // N >> K: most in-flight clients span at least one aggregation.
+  AsyncSimEngine async_eng(eng, async_cfg(/*buffer=*/3, /*concurrency=*/20));
+  AsyncFedBuffStrategy strategy(fedbuff_cfg());
+  const RunResult res = async_eng.run(strategy);
+  double max_stale = 0.0;
+  for (const auto& r : res.rounds) {
+    EXPECT_GE(r.mean_staleness, 0.0);
+    max_stale = std::max(max_stale, r.mean_staleness);
+  }
+  EXPECT_GT(max_stale, 0.0);
+}
+
+TEST(AsyncEngine, FirstAggregationIsAlwaysFresh) {
+  // Every update folded by aggregation 0 was necessarily dispatched at
+  // version 0, so the first buffer has staleness identically 0 — only
+  // later rounds can see stale stragglers from earlier waves.
+  auto eng = make_engine(/*rounds=*/5);
+  AsyncSimEngine async_eng(eng, async_cfg(/*buffer=*/6, /*concurrency=*/6));
+  AsyncFedBuffStrategy strategy(fedbuff_cfg());
+  const RunResult res = async_eng.run(strategy);
+  ASSERT_EQ(res.rounds.size(), 5u);
+  EXPECT_DOUBLE_EQ(res.rounds[0].mean_staleness, 0.0);
+  for (const auto& r : res.rounds) {
+    EXPECT_GE(r.mean_staleness, 0.0);
+  }
+}
+
+// ------------------------------------------------------------- accounting
+
+TEST(AsyncEngine, BytesAndTimesAreAccounted) {
+  auto eng = make_engine(/*rounds=*/4);
+  AsyncSimEngine async_eng(eng, async_cfg(/*buffer=*/4, /*concurrency=*/8));
+  AsyncFedBuffStrategy strategy(fedbuff_cfg());
+  const RunResult res = async_eng.run(strategy);
+  double last_wall = 0.0;
+  for (const auto& r : res.rounds) {
+    EXPECT_GT(r.down_bytes, 0.0);
+    EXPECT_GT(r.up_bytes, 0.0);
+    EXPECT_GT(r.wall_time_s, 0.0);
+    EXPECT_GE(r.down_time_s, 0.0);
+    EXPECT_GT(r.up_time_s, 0.0);
+    EXPECT_GT(r.compute_time_s, 0.0);
+    last_wall += r.wall_time_s;
+  }
+  EXPECT_GT(last_wall, 0.0);
+}
+
+TEST(AsyncEngine, SyncTrackerStaysConsecutive) {
+  auto eng = make_engine(/*rounds=*/5);
+  AsyncSimEngine async_eng(eng, async_cfg());
+  AsyncFedBuffStrategy strategy(fedbuff_cfg());
+  const RunResult res = async_eng.run(strategy);
+  ASSERT_EQ(res.rounds.size(), 5u);
+  // All 5 aggregations recorded their changed bitmaps consecutively, so a
+  // hypothetical client synced at 0 needs the full dense union at 5.
+  EXPECT_EQ(eng.sync().changed_union(0, 5), eng.dim());
+}
+
+TEST(AsyncEngine, TrainingImprovesOverInitialModel) {
+  auto eng = make_engine(/*rounds=*/12);
+  const double init_acc = eng.evaluate().accuracy;
+  AsyncSimEngine async_eng(eng, async_cfg(/*buffer=*/6, /*concurrency=*/12));
+  AsyncFedBuffStrategy strategy(fedbuff_cfg());
+  const RunResult res = async_eng.run(strategy);
+  EXPECT_GT(res.best_accuracy(), init_acc);
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(AsyncEngine, DeterministicAcrossThreadCounts) {
+  auto e1 = make_engine(6, 6, 42, /*threads=*/1);
+  auto e4 = make_engine(6, 6, 42, /*threads=*/4);
+  AsyncSimEngine a1(e1, async_cfg(/*buffer=*/4, /*concurrency=*/12));
+  AsyncSimEngine a4(e4, async_cfg(/*buffer=*/4, /*concurrency=*/12));
+  AsyncFedBuffStrategy s1(fedbuff_cfg());
+  AsyncFedBuffStrategy s4(fedbuff_cfg());
+  const RunResult r1 = a1.run(s1);
+  const RunResult r4 = a4.run(s4);
+  EXPECT_EQ(e1.params(), e4.params());  // bit-identical final model
+  ASSERT_EQ(r1.rounds.size(), r4.rounds.size());
+  for (size_t i = 0; i < r1.rounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.rounds[i].wall_time_s, r4.rounds[i].wall_time_s);
+    EXPECT_DOUBLE_EQ(r1.rounds[i].down_bytes, r4.rounds[i].down_bytes);
+    EXPECT_DOUBLE_EQ(r1.rounds[i].mean_staleness,
+                     r4.rounds[i].mean_staleness);
+    if (!std::isnan(r1.rounds[i].test_acc)) {
+      EXPECT_DOUBLE_EQ(r1.rounds[i].test_acc, r4.rounds[i].test_acc);
+    }
+  }
+}
+
+TEST(AsyncEngine, RerunOnSameEngineIsReproducible) {
+  auto eng = make_engine(5);
+  AsyncSimEngine async_eng(eng, async_cfg());
+  AsyncFedBuffStrategy s1(fedbuff_cfg());
+  AsyncFedBuffStrategy s2(fedbuff_cfg());
+  const RunResult r1 = async_eng.run(s1);
+  const std::vector<float> params_after_first = eng.params();
+  const RunResult r2 = async_eng.run(s2);
+  EXPECT_EQ(eng.params(), params_after_first);  // reset_state between runs
+  ASSERT_EQ(r1.rounds.size(), r2.rounds.size());
+  EXPECT_DOUBLE_EQ(r1.best_accuracy(), r2.best_accuracy());
+}
+
+TEST(AsyncEngine, DifferentDiscountsDiverge) {
+  auto eng = make_engine(/*rounds=*/8);
+  AsyncSimEngine async_eng(eng, async_cfg(/*buffer=*/3, /*concurrency=*/20));
+  AsyncFedBuffStrategy constant(fedbuff_cfg(StalenessDiscount::kConstant));
+  AsyncFedBuffStrategy poly(
+      fedbuff_cfg(StalenessDiscount::kPolynomial, 2.0));
+  async_eng.run(constant);
+  const std::vector<float> params_const = eng.params();
+  async_eng.run(poly);
+  // Heavy polynomial discounting reweights stale updates, so the final
+  // models must differ (the dispatch/timing schedule is identical).
+  EXPECT_NE(eng.params(), params_const);
+}
+
+}  // namespace
+}  // namespace gluefl

@@ -166,6 +166,103 @@ TEST(CliRun, JsonFileFlagWritesTheSummary) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------- async
+
+TEST(CliAsync, RunEmitsAsyncBlockAndStalenessColumn) {
+  const CliResult r =
+      invoke({"run", "--exec=async", "--strategy", "async-fedbuff",
+              "--dataset", "femnist", "--rounds", "3", "--scale", "0.02",
+              "--eval-every", "1", "--async-buffer", "4", "--async-conc", "8"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("staleness"), std::string::npos);
+  EXPECT_NE(r.out.find("\"exec\": \"async\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"async\": {\"buffer_size\": 4"), std::string::npos);
+  EXPECT_NE(r.out.find("\"trajectory\": [{"), std::string::npos);
+}
+
+TEST(CliAsync, DefaultStrategyUnderAsyncExecIsFedBuff) {
+  const CliResult r = invoke({"run", "--exec=async", "--rounds", "1",
+                              "--scale", "0.02"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"strategy\": \"async-fedbuff\""), std::string::npos);
+}
+
+TEST(CliAsync, SyncStrategyRejectedUnderAsyncExec) {
+  const CliResult r = invoke({"run", "--exec=async", "--strategy", "gluefl",
+                              "--rounds", "1", "--scale", "0.02"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("gluefl"), std::string::npos);
+  EXPECT_NE(r.err.find("async-fedbuff"), std::string::npos);
+}
+
+TEST(CliAsync, OvercommitRejectedUnderAsyncExec) {
+  const CliResult r = invoke({"run", "--exec=async", "--overcommit", "2.0",
+                              "--rounds", "1", "--scale", "0.02"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--overcommit requires --exec=sync"),
+            std::string::npos);
+}
+
+TEST(CliAsync, AsyncFlagsRequireAsyncExec) {
+  const CliResult r = invoke({"run", "--async-buffer", "4", "--rounds", "1",
+                              "--scale", "0.02"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--async-buffer requires --exec=async"),
+            std::string::npos);
+}
+
+TEST(CliAsync, RejectsUnknownExecMode) {
+  const CliResult r = invoke({"run", "--exec", "turbo", "--rounds", "1"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("turbo"), std::string::npos);
+}
+
+TEST(CliAsync, RejectsBadStalenessMode) {
+  const CliResult r = invoke({"run", "--exec=async", "--staleness", "linear",
+                              "--rounds", "1", "--scale", "0.02"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("linear"), std::string::npos);
+}
+
+TEST(CliAsync, JsonIsIdenticalAcrossThreadCounts) {
+  const CliResult t1 =
+      invoke({"run", "--exec=async", "--rounds", "3", "--scale", "0.02",
+              "--eval-every", "1", "--threads", "1"});
+  const CliResult t4 =
+      invoke({"run", "--exec=async", "--rounds", "3", "--scale", "0.02",
+              "--eval-every", "1", "--threads", "4"});
+  ASSERT_EQ(t1.code, 0) << t1.err;
+  ASSERT_EQ(t4.code, 0) << t4.err;
+  EXPECT_EQ(t1.out, t4.out);
+}
+
+TEST(CliAsync, SweepGridsBufferAndAlpha) {
+  const CliResult r =
+      invoke({"sweep", "--exec=async", "--dataset", "femnist", "--rounds", "2",
+              "--scale", "0.02", "--async-buffer", "3,6", "--staleness-alpha",
+              "0.0,0.5"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("4 arms"), std::string::npos);
+  EXPECT_NE(r.out.find("K=3 alpha=0.00"), std::string::npos);
+  EXPECT_NE(r.out.find("K=6 alpha=0.50"), std::string::npos);
+  EXPECT_NE(r.out.find("\"exec\": \"async\""), std::string::npos);
+}
+
+TEST(CliAsync, SweepRejectsFractionalBufferInsteadOfTruncating) {
+  const CliResult r = invoke({"sweep", "--exec=async", "--async-buffer",
+                              "3.7", "--rounds", "1", "--scale", "0.02"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--async-buffer"), std::string::npos);
+  EXPECT_EQ(r.out.find("best-acc"), std::string::npos);  // no arm ran
+}
+
+TEST(CliAsync, SweepRejectsSyncGridFlagsUnderAsync) {
+  const CliResult r = invoke({"sweep", "--exec=async", "--q", "0.2",
+                              "--rounds", "1", "--scale", "0.02"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--q requires --exec=sync"), std::string::npos);
+}
+
 // ---------------------------------------------------------------- sweep
 
 TEST(CliSweep, TwoArmGridReportsCostTable) {
