@@ -29,22 +29,30 @@ namespace gluefl::bench {
 
 inline bool full_mode() { return std::getenv("GLUEFL_FULL") != nullptr; }
 
-/// Scaled-vs-full round budget, with the explicit override on top. A set
-/// but malformed GLUEFL_ROUNDS fails loudly instead of silently falling
-/// back to the default budget.
+/// Positive-integer environment knob shared by every bench: returns `def`
+/// when `name` is unset; a set but malformed (or out-of-range) value
+/// fails loudly instead of silently falling back to the default.
+inline size_t env_positive(const char* name, size_t def,
+                           size_t max = 1000000000) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return def;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  GLUEFL_CHECK_MSG(end != env && *end == '\0' && errno == 0 && v > 0 &&
+                       static_cast<unsigned long long>(v) <= max,
+                   std::string(name) +
+                       " must be a positive integer in range, got '" + env +
+                       "'");
+  return static_cast<size_t>(v);
+}
+
+/// Scaled-vs-full round budget, with the explicit GLUEFL_ROUNDS override
+/// on top.
 inline int rounds_for(int scaled_default) {
-  if (const char* env = std::getenv("GLUEFL_ROUNDS")) {
-    errno = 0;
-    char* end = nullptr;
-    const long r = std::strtol(env, &end, 10);
-    GLUEFL_CHECK_MSG(end != env && *end == '\0' && errno == 0 && r > 0 &&
-                         r <= 1000000,
-                     std::string("GLUEFL_ROUNDS must be a positive integer "
-                                 "round count, got '") +
-                         env + "'");
-    return static_cast<int>(r);
-  }
-  return full_mode() ? 1000 : scaled_default;
+  const size_t def =
+      full_mode() ? 1000 : static_cast<size_t>(scaled_default);
+  return static_cast<int>(env_positive("GLUEFL_ROUNDS", def, 1000000));
 }
 
 struct Workload {

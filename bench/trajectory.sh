@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Runs the perf-trajectory benches (async throughput + aggregation scale)
+# and merges their JSON summaries into one trajectory file.
+#
+#   sh bench/trajectory.sh [OUT_JSON] [BUILD_DIR]
+#
+# Defaults: OUT_JSON=BENCH_3.json, BUILD_DIR=build. Honors the benches'
+# environment knobs (GLUEFL_ROUNDS, GLUEFL_FULL, GLUEFL_AGG_*); CI passes
+# GLUEFL_ROUNDS=1 for a fast smoke, the committed repo-root BENCH_3.json
+# is produced with the defaults.
+set -eu
+
+out=${1:-BENCH_3.json}
+bindir=${2:-build}
+
+for bin in bench_async_throughput bench_agg_scale; do
+  if [ ! -x "$bindir/$bin" ]; then
+    echo "error: $bindir/$bin not built (cmake --build $bindir --target $bin)" >&2
+    exit 1
+  fi
+done
+
+tmp_async=$(mktemp)
+tmp_agg=$(mktemp)
+trap 'rm -f "$tmp_async" "$tmp_agg"' EXIT
+
+GLUEFL_BENCH_JSON="$tmp_async" "$bindir/bench_async_throughput" >/dev/null
+GLUEFL_BENCH_JSON="$tmp_agg" "$bindir/bench_agg_scale" >/dev/null
+
+# Both bench summaries are single-line JSON objects; compose without jq.
+printf '{"schema": "gluefl.trajectory.v1", "async": %s, "agg_scale": %s}\n' \
+  "$(cat "$tmp_async")" "$(cat "$tmp_agg")" > "$out"
+echo "trajectory written to $out"

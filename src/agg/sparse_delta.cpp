@@ -1,0 +1,92 @@
+#include "agg/sparse_delta.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace gluefl {
+
+SparseDelta SparseDelta::dense(std::vector<float> values, float weight) {
+  SparseDelta d;
+  d.weight = weight;
+  d.val = std::move(values);
+  return d;
+}
+
+namespace {
+
+/// The constructors enforce strict ascending order once, so the reduce hot
+/// path only needs O(1) checks per delta (back() bounds the whole array).
+void check_strictly_ascending(const std::vector<uint32_t>& idx) {
+  for (size_t k = 1; k < idx.size(); ++k) {
+    GLUEFL_CHECK_MSG(idx[k - 1] < idx[k],
+                     "SparseDelta indices must be strictly ascending");
+  }
+}
+
+}  // namespace
+
+SparseDelta SparseDelta::from_sparse(SparseVec sv, float weight) {
+  GLUEFL_CHECK(sv.idx.size() == sv.val.size());
+  check_strictly_ascending(sv.idx);
+  SparseDelta d;
+  d.weight = weight;
+  d.idx = std::make_shared<const std::vector<uint32_t>>(std::move(sv.idx));
+  d.val = std::move(sv.val);
+  return d;
+}
+
+std::shared_ptr<const std::vector<uint32_t>> SparseDelta::make_support(
+    std::vector<uint32_t> indices) {
+  check_strictly_ascending(indices);
+  return std::make_shared<const std::vector<uint32_t>>(std::move(indices));
+}
+
+SparseDelta SparseDelta::on_shared(
+    std::shared_ptr<const std::vector<uint32_t>> indices,
+    std::vector<float> values, float weight) {
+  GLUEFL_CHECK(indices != nullptr);
+  GLUEFL_CHECK(indices->size() == values.size());
+  SparseDelta d;
+  d.weight = weight;
+  d.idx = std::move(indices);
+  d.val = std::move(values);
+  return d;
+}
+
+SparseDelta SparseDelta::gather_shared(
+    const std::shared_ptr<const std::vector<uint32_t>>& indices,
+    const float* x, float weight) {
+  GLUEFL_CHECK(indices != nullptr);
+  std::vector<float> values;
+  values.reserve(indices->size());
+  for (const uint32_t j : *indices) values.push_back(x[j]);
+  return on_shared(indices, std::move(values), weight);
+}
+
+size_t SparseDelta::heap_bytes(bool count_shared_idx) const {
+  size_t b = val.capacity() * sizeof(float);
+  if (idx != nullptr && (count_shared_idx || idx.use_count() == 1)) {
+    b += idx->capacity() * sizeof(uint32_t);
+  }
+  return b;
+}
+
+void validate_deltas(const std::vector<SparseDelta>& deltas, size_t dim) {
+  // O(1) per delta: the constructors guarantee strictly ascending indices,
+  // so back() bounds the whole support. Keeping this cheap matters — it
+  // runs inside every reduce() call, on the aggregation hot path.
+  for (const SparseDelta& d : deltas) {
+    if (d.is_dense()) {
+      GLUEFL_CHECK_MSG(d.val.size() == dim,
+                       "dense SparseDelta value count != model dim");
+      continue;
+    }
+    GLUEFL_CHECK_MSG(d.idx->size() == d.val.size(),
+                     "SparseDelta index/value arrays disagree");
+    GLUEFL_CHECK_MSG(d.idx->empty() || d.idx->back() < dim,
+                     "SparseDelta index out of range");
+  }
+}
+
+}  // namespace gluefl

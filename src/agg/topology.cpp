@@ -1,0 +1,43 @@
+#include "agg/topology.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "net/bandwidth.h"
+
+namespace gluefl {
+
+HierarchicalTopology::HierarchicalTopology(TopologyConfig cfg,
+                                           int num_clients,
+                                           double edge_down_mbps,
+                                           double edge_up_mbps)
+    : cfg_(cfg),
+      num_clients_(num_clients),
+      edge_down_mbps_(edge_down_mbps),
+      edge_up_mbps_(edge_up_mbps) {
+  GLUEFL_CHECK_MSG(cfg_.num_edges >= 1,
+                   "hierarchical topology needs at least one edge");
+  GLUEFL_CHECK_MSG(num_clients_ >= 1, "topology needs a client population");
+  GLUEFL_CHECK_MSG(edge_down_mbps_ > 0.0 && edge_up_mbps_ > 0.0,
+                   "edge<->cloud link rates must be positive");
+}
+
+int HierarchicalTopology::edge_of(int client) const {
+  GLUEFL_CHECK(client >= 0 && client < num_clients_);
+  return client % cfg_.num_edges;
+}
+
+double HierarchicalTopology::fetch_seconds(double bytes) const {
+  return transfer_seconds(bytes, edge_down_mbps_);
+}
+
+double HierarchicalTopology::uplink_seconds(double bytes) const {
+  return transfer_seconds(bytes, edge_up_mbps_);
+}
+
+size_t HierarchicalTopology::partial_aggregate_bytes(size_t sum_member_bytes,
+                                                     size_t dense_cap) {
+  return std::min(sum_member_bytes, dense_cap);
+}
+
+}  // namespace gluefl

@@ -1,0 +1,64 @@
+// Hierarchical (edge -> cloud) aggregation topology.
+//
+// In the flat topology every client talks to the cloud directly and the
+// paper's downstream-volume (DV) problem is cloud egress x participants.
+// In the hierarchical topology clients report to one of E edge
+// aggregators; each edge
+//
+//   * fetches the round's sync payload from the cloud ONCE (the largest
+//     diff any of its invitees needs) and fans it out over client access
+//     links — so cloud downstream volume is per-EDGE, not per-client;
+//   * partially aggregates its members' uploads into a single update
+//     before uplinking to the cloud — the edge->cloud payload is the sum
+//     of member payloads capped at one dense model (supports overlap at
+//     worst into a dense update, and sticky cohorts overlap much earlier).
+//
+// Edge <-> cloud links are priced through the NetworkEnv's backbone rates
+// (NetworkEnv::edge_down_mbps / edge_up_mbps); client <-> edge legs keep
+// using the per-client access-link profiles, which remain the straggler
+// bottleneck. The SyncTracker still decides WHAT a client must download —
+// the topology only changes who moves the bytes and what the cloud pays.
+//
+// Client -> edge assignment is a deterministic stride (client % E), which
+// keeps edge loads balanced within one client for any population.
+#pragma once
+
+#include <cstddef>
+
+#include "fl/sim_config.h"
+
+namespace gluefl {
+
+class HierarchicalTopology {
+ public:
+  /// `cfg.num_edges` must be >= 1; CLI validation rejects everything else
+  /// before an engine is built.
+  HierarchicalTopology(TopologyConfig cfg, int num_clients,
+                       double edge_down_mbps, double edge_up_mbps);
+
+  int num_edges() const { return cfg_.num_edges; }
+  int num_clients() const { return num_clients_; }
+
+  /// Deterministic edge assignment (client % E).
+  int edge_of(int client) const;
+
+  /// Seconds to move `bytes` cloud -> edge over the backbone downlink.
+  double fetch_seconds(double bytes) const;
+
+  /// Seconds to move `bytes` edge -> cloud over the backbone uplink.
+  double uplink_seconds(double bytes) const;
+
+  /// Wire size of an edge's partial aggregate given the summed member
+  /// payload bytes: min(sum, dense_cap). `dense_cap` is the dense model
+  /// (+ stats) payload — overlapping supports can never exceed it.
+  static size_t partial_aggregate_bytes(size_t sum_member_bytes,
+                                        size_t dense_cap);
+
+ private:
+  TopologyConfig cfg_;
+  int num_clients_ = 0;
+  double edge_down_mbps_ = 0.0;
+  double edge_up_mbps_ = 0.0;
+};
+
+}  // namespace gluefl

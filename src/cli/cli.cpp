@@ -55,6 +55,11 @@ run flags:
   --eval-every N     evaluate test accuracy every N rounds       [5]
   --seed N           RNG seed                                    [42]
   --threads N        training threads; 0 = hardware concurrency  [0]
+  --agg MODE         update reduction: dense | sharded           [dense]
+  --agg-shards N     parameter-range shards (--agg=sharded only;
+                     omit for an automatic count)
+  --topology SPEC    flat, or hier:<E> for E edge aggregators
+                     between clients and cloud                   [flat]
   --json FILE        also write the JSON summary to FILE
 
 async run flags (require --exec=async):
@@ -65,7 +70,8 @@ async run flags (require --exec=async):
   --server-lr F        server learning rate eta_g                [1.0]
   --max-staleness N    weight 0 beyond this staleness; 0 = off   [0]
 
-sweep flags (plus --dataset/--model/--env/--rounds/--scale/--seed above):
+sweep flags (plus --dataset/--model/--env/--rounds/--scale/--seed/
+             --agg/--agg-shards/--topology above):
   --q LIST           total mask ratios, e.g. 0.1,0.2,0.3
   --q-shr LIST       shared mask ratios, e.g. 0.08,0.16
   --sticky-s LIST    sticky group sizes S (absolute client counts)
@@ -104,6 +110,24 @@ std::vector<double> parse_double_list(const std::string& key,
   }
   if (out.empty()) throw UsageError("--" + key + " expects a non-empty list");
   return out;
+}
+
+/// Topology spec: "flat" -> 0 edges, "hier:<E>" -> E edge aggregators.
+/// Anything else — including hier with E < 1 — is rejected loudly rather
+/// than silently misconfiguring the run.
+int parse_topology(const std::string& spec) {
+  if (spec == "flat") return 0;
+  if (spec.rfind("hier:", 0) == 0) {
+    const std::string e = spec.substr(5);
+    const long v = parse_long("topology", e);
+    if (v < 1 || v > 1000000) {
+      throw UsageError("--topology hier:<E> needs E in [1, 1000000], got '" +
+                       e + "'");
+    }
+    return static_cast<int>(v);
+  }
+  throw UsageError("--topology expects 'flat' or 'hier:<E>', got '" + spec +
+                   "'");
 }
 
 /// Flag accessor that tracks which keys were consumed so unknown flags can
@@ -205,12 +229,20 @@ RunOptions resolve_common(Flags& flags) {
   opt.seed = static_cast<uint64_t>(
       flags.integer("seed", 42, 0, std::numeric_limits<long>::max()));
   opt.threads = static_cast<int>(flags.integer("threads", 0, 0, 1024));
+  opt.agg = flags.str("agg", opt.agg);
+  opt.agg_shards = static_cast<int>(flags.integer("agg-shards", 0, 1, 65536));
+  opt.topology = flags.str("topology", opt.topology);
   opt.json_path = flags.str("json", "");
 
   require_name("dataset", opt.dataset, dataset_names());
   require_name("model", opt.model, model_names());
   require_name("network env", opt.env, env_names());
   require_name("exec mode", opt.exec, {"sync", "async"});
+  require_name("aggregator", opt.agg, {"dense", "sharded"});
+  if (flags.provided("agg-shards") && opt.agg != "sharded") {
+    throw UsageError("--agg-shards requires --agg=sharded");
+  }
+  opt.num_edges = parse_topology(opt.topology);
   // Async execution has no invitation barrier, so over-commitment cannot
   // shape the run; reject it rather than silently ignore it.
   if (opt.exec == "async" && flags.provided("overcommit")) {
@@ -272,10 +304,28 @@ AsyncOptions resolve_async_shared(Flags& flags, int k, int num_clients) {
   return a;
 }
 
+/// A buffer larger than the concurrency can never fill from one in-flight
+/// cohort — every aggregation would wait on multiple dispatch waves,
+/// inflating staleness in a way that is almost always a misconfiguration.
+/// Explicitly-requested values are rejected loudly; the buffer DEFAULT
+/// clamps to the concurrency instead (see resolve_async), so lowering
+/// --async-conc alone never errors about a flag the user did not set.
+void require_buffer_fits_concurrency(int buffer_size, int concurrency) {
+  if (buffer_size > concurrency) {
+    throw UsageError("--async-buffer (K=" + std::to_string(buffer_size) +
+                     ") must not exceed --async-conc (N=" +
+                     std::to_string(concurrency) +
+                     "): a K-of-N trigger needs K <= N");
+  }
+}
+
 AsyncOptions resolve_async(Flags& flags, int k, int num_clients) {
   AsyncOptions a = resolve_async_shared(flags, k, num_clients);
+  const long default_buffer =
+      std::min(static_cast<long>(k), static_cast<long>(a.engine.concurrency));
   a.engine.buffer_size = static_cast<int>(
-      flags.integer("async-buffer", k, 1, 100000));
+      flags.integer("async-buffer", default_buffer, 1, 100000));
+  require_buffer_fits_concurrency(a.engine.buffer_size, a.engine.concurrency);
   a.fedbuff.alpha = flags.num("staleness-alpha", a.fedbuff.alpha);
   if (a.fedbuff.alpha < 0.0) {
     throw UsageError("--staleness-alpha must be >= 0");
@@ -285,6 +335,12 @@ AsyncOptions resolve_async(Flags& flags, int k, int num_clients) {
 
 SimEngine make_cli_engine(const RunOptions& opt, const SyntheticSpec& spec,
                           int k, int topk) {
+  if (opt.num_edges > spec.num_clients) {
+    throw UsageError("--topology hier:" + std::to_string(opt.num_edges) +
+                     " has more edges than the population (" +
+                     std::to_string(spec.num_clients) +
+                     " clients at this --scale)");
+  }
   TrainConfig train;
   train.lr0 = 0.05;
   RunConfig run;
@@ -296,6 +352,9 @@ SimEngine make_cli_engine(const RunOptions& opt, const SyntheticSpec& spec,
   run.seed = opt.seed;
   run.use_availability = true;
   run.num_threads = opt.threads;
+  run.agg.kind = opt.agg == "sharded" ? AggKind::kSharded : AggKind::kDense;
+  run.agg.shards = opt.agg_shards;
+  run.topology.num_edges = opt.num_edges;
   return SimEngine(make_synthetic_dataset(spec),
                    make_proxy(opt.model, spec.feature_dim, spec.num_classes),
                    make_env(opt.env), train, run);
@@ -386,7 +445,9 @@ std::string run_json(const RunOptions& opt, const std::string& strategy,
      << ", \"model\": " << jstr(opt.model) << ", \"env\": " << jstr(opt.env)
      << ", \"rounds\": " << opt.rounds << ", \"clients\": " << spec.num_clients
      << ", \"clients_per_round\": " << k << ", \"scale\": " << jnum(opt.scale)
-     << ", \"seed\": " << opt.seed;
+     << ", \"seed\": " << opt.seed << ", \"agg\": " << jstr(opt.agg)
+     << ", \"agg_shards\": " << opt.agg_shards
+     << ", \"topology\": " << jstr(opt.topology);
   if (!async_block.empty()) os << ", \"async\": " << async_block;
   os << ", \"best_accuracy\": " << jnum(res.best_accuracy())
      << ", \"totals\": " << totals_json(totals)
@@ -553,6 +614,16 @@ int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
         << aopt.staleness << " alpha=" << fmt_double(aopt.fedbuff.alpha, 2)
         << " server-lr=" << fmt_double(aopt.fedbuff.server_lr, 2) << "\n";
   }
+  if (opt.agg != "dense" || opt.num_edges > 0) {
+    out << "agg: " << opt.agg;
+    if (opt.agg == "sharded") {
+      out << " (shards="
+          << (opt.agg_shards > 0 ? std::to_string(opt.agg_shards)
+                                 : std::string("auto"))
+          << ")";
+    }
+    out << " topology=" << opt.topology << "\n";
+  }
   out << "\n";
 
   RunResult res;
@@ -613,11 +684,13 @@ int cmd_sweep_async(Flags& flags, const RunOptions& opt, std::ostream& out) {
   const int k = preset_clients_per_round(spec);
   const int topk = preset_topk(spec);
 
-  const std::vector<double> buffers =
-      flags.list("async-buffer", {static_cast<double>(k)});
-  const std::vector<double> alphas = flags.list("staleness-alpha", {0.5});
   const AsyncOptions base = resolve_async_shared(flags, k, spec.num_clients);
   const int conc = base.engine.concurrency;
+  // Like run's --async-buffer, the default arm clamps to the concurrency;
+  // only explicitly-listed buffer values can violate K <= N below.
+  const std::vector<double> buffers = flags.list(
+      "async-buffer", {static_cast<double>(std::min(k, conc))});
+  const std::vector<double> alphas = flags.list("staleness-alpha", {0.5});
   flags.reject_unknown();
 
   for (const double b : buffers) {
@@ -625,6 +698,7 @@ int cmd_sweep_async(Flags& flags, const RunOptions& opt, std::ostream& out) {
       throw UsageError("--async-buffer values must be integers in "
                        "[1, 100000]");
     }
+    require_buffer_fits_concurrency(static_cast<int>(b), conc);
   }
   for (const double a : alphas) {
     if (a < 0.0) throw UsageError("--staleness-alpha values must be >= 0");
@@ -669,6 +743,9 @@ int cmd_sweep_async(Flags& flags, const RunOptions& opt, std::ostream& out) {
   json << "{\"schema\": \"gluefl.sweep.v1\", \"exec\": \"async\""
        << ", \"dataset\": " << jstr(opt.dataset)
        << ", \"model\": " << jstr(opt.model) << ", \"env\": " << jstr(opt.env)
+       << ", \"agg\": " << jstr(opt.agg)
+       << ", \"agg_shards\": " << opt.agg_shards
+       << ", \"topology\": " << jstr(opt.topology)
        << ", \"rounds\": " << opt.rounds << ", \"concurrency\": " << conc
        << ", \"staleness\": " << jstr(base.staleness)
        << ", \"target_accuracy\": " << jnum(target) << ", \"arms\": [";
@@ -772,6 +849,9 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   json << "{\"schema\": \"gluefl.sweep.v1\", \"exec\": \"sync\""
        << ", \"dataset\": " << jstr(opt.dataset)
        << ", \"model\": " << jstr(opt.model) << ", \"env\": " << jstr(opt.env)
+       << ", \"agg\": " << jstr(opt.agg)
+       << ", \"agg_shards\": " << opt.agg_shards
+       << ", \"topology\": " << jstr(opt.topology)
        << ", \"rounds\": " << opt.rounds
        << ", \"target_accuracy\": " << jnum(target) << ", \"arms\": [";
   for (size_t i = 0; i < runs.size(); ++i) {

@@ -59,6 +59,12 @@ RunResult AsyncSimEngine::run(AsyncStrategy& strategy) {
   const int n = eng.num_clients();
   const double flops = eng.flops_per_client_round();
   const size_t up_payload = dense_bytes(eng.dim()) + eng.stat_bytes();
+  // Hierarchical topology: every dispatch traverses cloud -> edge ->
+  // client and back. Dispatches are unsynchronized (each ships a diff for
+  // a different model version), so unlike the synchronous path there is no
+  // per-edge multicast batching — the hierarchy prices the extra hop's
+  // latency, and volumes stay per-dispatch.
+  const HierarchicalTopology* topo = eng.topology();
   std::vector<char> in_flight(static_cast<size_t>(n), 0);
   std::vector<AsyncUpdate> buffer;
   buffer.reserve(static_cast<size_t>(cfg_.buffer_size));
@@ -103,6 +109,12 @@ RunResult AsyncSimEngine::run(AsyncStrategy& strategy) {
       f.ct = flops / (p.gflops * 1e9);
       f.ut = transfer_seconds(
           static_cast<double>(up_payload) * eng.wire_scale(), p.up_mbps);
+      if (topo != nullptr) {
+        f.dt += topo->fetch_seconds(static_cast<double>(down_b) *
+                                    eng.wire_scale());
+        f.ut += topo->uplink_seconds(static_cast<double>(up_payload) *
+                                     eng.wire_scale());
+      }
       f.finish = now + f.dt + f.ct + f.ut;
       f.up_b = up_payload;
       f.local = std::move(locals[i]);

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "compress/encoding.h"
 #include "net/bandwidth.h"
 #include "nn/optimizer.h"
 #include "tensor/ops.h"
@@ -85,6 +86,13 @@ SimEngine::SimEngine(FederatedDataset dataset, ModelProxy proxy,
     workers_.push_back(std::make_unique<Worker>(proxy_.model));
   }
 
+  aggregator_ = make_aggregator(run_cfg_.agg, num_threads_);
+  if (run_cfg_.topology.hierarchical()) {
+    topology_ = std::make_unique<HierarchicalTopology>(
+        run_cfg_.topology, dataset_.num_clients(), env_.edge_down_mbps,
+        env_.edge_up_mbps);
+  }
+
   reset_state();
 }
 
@@ -142,13 +150,53 @@ Participation SimEngine::simulate_participation(
     size_t down_b = 0;
   };
   const double flops = flops_per_client_round();
-  auto time_client = [&](int id) {
+  const HierarchicalTopology* topo = topology_.get();
+
+  // Per-invitee payload sizes, computed ONCE up front: down_bytes_fn can
+  // be an O(staleness) SyncTracker union, so it must never be priced twice
+  // for the same invitee.
+  std::vector<size_t> sticky_down, other_down;
+  sticky_down.reserve(cand.sticky.size());
+  other_down.reserve(cand.nonsticky.size());
+  for (const int id : cand.sticky) sticky_down.push_back(down_bytes_fn(id));
+  for (const int id : cand.nonsticky) other_down.push_back(down_bytes_fn(id));
+
+  // Hierarchical: each serving edge fetches the round's sync payload from
+  // the cloud ONCE — sized for its neediest invitee — then fans it out over
+  // the client access links. Compute the per-edge fetch before timing
+  // clients, because every member download queues behind it.
+  std::vector<size_t> edge_down_b;
+  std::vector<double> edge_fetch_s;
+  if (topo != nullptr) {
+    edge_down_b.assign(static_cast<size_t>(topo->num_edges()), 0);
+    for (size_t i = 0; i < cand.sticky.size(); ++i) {
+      size_t& b =
+          edge_down_b[static_cast<size_t>(topo->edge_of(cand.sticky[i]))];
+      b = std::max(b, sticky_down[i]);
+    }
+    for (size_t i = 0; i < cand.nonsticky.size(); ++i) {
+      size_t& b =
+          edge_down_b[static_cast<size_t>(topo->edge_of(cand.nonsticky[i]))];
+      b = std::max(b, other_down[i]);
+    }
+    edge_fetch_s.resize(edge_down_b.size());
+    for (size_t e = 0; e < edge_down_b.size(); ++e) {
+      edge_fetch_s[e] =
+          topo->fetch_seconds(static_cast<double>(edge_down_b[e]) *
+                              wire_scale_);
+    }
+  }
+
+  auto time_client = [&](int id, size_t down_b) {
     Timed t;
     t.id = id;
-    t.down_b = down_bytes_fn(id);
+    t.down_b = down_b;
     const ClientProfile& p = profiles_[static_cast<size_t>(id)];
     t.dt = transfer_seconds(static_cast<double>(t.down_b) * wire_scale_,
                             p.down_mbps);
+    if (topo != nullptr) {
+      t.dt += edge_fetch_s[static_cast<size_t>(topo->edge_of(id))];
+    }
     t.ct = flops / (p.gflops * 1e9);
     t.ut = transfer_seconds(static_cast<double>(up_bytes_fn(id)) * wire_scale_,
                             p.up_mbps);
@@ -163,31 +211,59 @@ Participation SimEngine::simulate_participation(
   std::vector<Timed> sticky_t, other_t;
   sticky_t.reserve(cand.sticky.size());
   other_t.reserve(cand.nonsticky.size());
-  for (int id : cand.sticky) sticky_t.push_back(time_client(id));
-  for (int id : cand.nonsticky) other_t.push_back(time_client(id));
+  for (size_t i = 0; i < cand.sticky.size(); ++i) {
+    sticky_t.push_back(time_client(cand.sticky[i], sticky_down[i]));
+  }
+  for (size_t i = 0; i < cand.nonsticky.size(); ++i) {
+    other_t.push_back(time_client(cand.nonsticky[i], other_down[i]));
+  }
   std::sort(sticky_t.begin(), sticky_t.end(), by_finish);
   std::sort(other_t.begin(), other_t.end(), by_finish);
 
-  // Every invitee downloads the sync payload (even those later dropped as
-  // stragglers) — this is why over-commitment inflates DV in Table 3b.
   rec.num_invited += cand.total_invited();
   double stale_sum = 0.0;
   int stale_n = 0;
-  for (const auto& t : sticky_t) {
-    rec.down_bytes += static_cast<double>(t.down_b) * wire_scale_;
+  if (topo != nullptr) {
+    // Cloud downstream volume is per serving edge, not per client — the
+    // multicast saving that makes the hierarchy a new DV regime. The
+    // client fan-out legs ride edge links and are not cloud egress.
+    for (const size_t b : edge_down_b) {
+      rec.down_bytes += static_cast<double>(b) * wire_scale_;
+    }
+  } else {
+    // Every invitee downloads the sync payload (even those later dropped
+    // as stragglers) — why over-commitment inflates DV in Table 3b.
+    for (const auto& t : sticky_t) {
+      rec.down_bytes += static_cast<double>(t.down_b) * wire_scale_;
+    }
+    for (const auto& t : other_t) {
+      rec.down_bytes += static_cast<double>(t.down_b) * wire_scale_;
+    }
   }
-  for (const auto& t : other_t) {
-    rec.down_bytes += static_cast<double>(t.down_b) * wire_scale_;
+
+  // Per-edge upload batching state (hierarchical only): members' payloads
+  // merge into one partial aggregate per edge before the cloud uplink.
+  std::vector<size_t> edge_up_sum;
+  std::vector<double> edge_finish;
+  if (topo != nullptr) {
+    edge_up_sum.assign(static_cast<size_t>(topo->num_edges()), 0);
+    edge_finish.assign(static_cast<size_t>(topo->num_edges()), 0.0);
   }
 
   Participation part;
   auto include = [&](const Timed& t, std::vector<int>& group) {
     group.push_back(t.id);
-    rec.up_bytes += static_cast<double>(up_bytes_fn(t.id)) * wire_scale_;
+    if (topo != nullptr) {
+      const size_t e = static_cast<size_t>(topo->edge_of(t.id));
+      edge_up_sum[e] += up_bytes_fn(t.id);
+      edge_finish[e] = std::max(edge_finish[e], t.finish);
+    } else {
+      rec.up_bytes += static_cast<double>(up_bytes_fn(t.id)) * wire_scale_;
+      rec.wall_time_s = std::max(rec.wall_time_s, t.finish);
+    }
     rec.down_time_s = std::max(rec.down_time_s, t.dt);
     rec.up_time_s = std::max(rec.up_time_s, t.ut);
     rec.compute_time_s = std::max(rec.compute_time_s, t.ct);
-    rec.wall_time_s = std::max(rec.wall_time_s, t.finish);
     const int st = sync_->staleness(t.id, round);
     if (st >= 0) {
       stale_sum += st;
@@ -203,6 +279,23 @@ Participation SimEngine::simulate_participation(
                                        static_cast<int>(other_t.size()));
   for (int i = 0; i < take_other; ++i) {
     include(other_t[static_cast<size_t>(i)], part.nonsticky);
+  }
+
+  if (topo != nullptr) {
+    // Edge -> cloud: each serving edge uplinks one partial aggregate as
+    // soon as its slowest included member lands. The round completes when
+    // the last edge's uplink does.
+    const size_t dense_cap = dense_bytes(dim_) + stat_bytes();
+    for (size_t e = 0; e < edge_up_sum.size(); ++e) {
+      if (edge_up_sum[e] == 0) continue;
+      const size_t up_b = HierarchicalTopology::partial_aggregate_bytes(
+          edge_up_sum[e], dense_cap);
+      rec.up_bytes += static_cast<double>(up_b) * wire_scale_;
+      const double uplink_s =
+          topo->uplink_seconds(static_cast<double>(up_b) * wire_scale_);
+      rec.up_time_s = std::max(rec.up_time_s, uplink_s);
+      rec.wall_time_s = std::max(rec.wall_time_s, edge_finish[e] + uplink_s);
+    }
   }
 
   rec.num_included += static_cast<int>(part.sticky.size() +

@@ -20,6 +20,8 @@
 #include <memory>
 #include <vector>
 
+#include "agg/aggregator.h"
+#include "agg/topology.h"
 #include "common/rng.h"
 #include "data/federated_dataset.h"
 #include "fl/metrics.h"
@@ -89,6 +91,13 @@ class SimEngine {
 
   SyncTracker& sync() { return *sync_; }
   const SyncTracker& sync() const { return *sync_; }
+
+  /// Update-reduction backend (RunConfig::agg). Strategies submit their
+  /// weighted SparseDelta batches here instead of hand-rolled loops.
+  const Aggregator& aggregator() const { return *aggregator_; }
+
+  /// Hierarchical (edge -> cloud) topology, or nullptr when flat.
+  const HierarchicalTopology* topology() const { return topology_.get(); }
 
   /// Wire bytes of the dense BatchNorm statistics payload.
   size_t stat_bytes() const;
@@ -161,6 +170,8 @@ class SimEngine {
   std::vector<float> stats_;
 
   std::vector<ClientProfile> profiles_;
+  std::unique_ptr<Aggregator> aggregator_;
+  std::unique_ptr<HierarchicalTopology> topology_;
   std::unique_ptr<AvailabilityTrace> availability_;
   std::unique_ptr<SyncTracker> sync_;
   Rng master_rng_;

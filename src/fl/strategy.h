@@ -48,9 +48,11 @@ class AsyncStrategy {
   /// Folds one full buffer into engine.params()/stats(), producing
   /// aggregation `version` (w^{version} -> w^{version+1}); must record the
   /// changed-position bitmap via
-  /// engine.sync().record_round_changes(version, ...).
+  /// engine.sync().record_round_changes(version, ...). The buffer is
+  /// discarded afterwards, so the strategy may move update payloads out of
+  /// it (e.g. into the SparseDelta batch it submits to the aggregator).
   virtual void aggregate(SimEngine& engine, int version,
-                         const std::vector<AsyncUpdate>& buffer,
+                         std::vector<AsyncUpdate>& buffer,
                          RoundRecord& rec) = 0;
 };
 

@@ -17,6 +17,8 @@ NetworkEnv make_edge_env() {
   env.availability = 0.8;
   env.mean_on_rounds = 60.0;
   env.mean_off_rounds = 15.0;
+  env.edge_down_mbps = 1000.0;  // regional PoPs on metro fiber
+  env.edge_up_mbps = 1000.0;
   return env;
 }
 
@@ -29,6 +31,8 @@ NetworkEnv make_5g_env() {
   env.availability = 0.9;
   env.mean_on_rounds = 80.0;
   env.mean_off_rounds = 9.0;
+  env.edge_down_mbps = 5000.0;  // 5G MEC sites on carrier backhaul
+  env.edge_up_mbps = 5000.0;
   return env;
 }
 
@@ -39,6 +43,8 @@ NetworkEnv make_datacenter_env() {
   env.gflops_mu_log = std::log(100.0);  // accelerator-backed workers
   env.gflops_sigma_log = 0.2;
   env.availability = 1.0;
+  env.edge_down_mbps = 10000.0;  // top-of-rack aggregation switches
+  env.edge_up_mbps = 10000.0;
   return env;
 }
 

@@ -25,6 +25,11 @@ struct NetworkEnv {
   /// Mean sojourn lengths (in rounds) for the on/off Markov chain.
   double mean_on_rounds = 60.0;
   double mean_off_rounds = 15.0;
+  /// Edge-aggregator <-> cloud backbone rates for hierarchical topologies
+  /// (src/agg/topology.h). Edge aggregators sit on provisioned links —
+  /// PoPs / micro-datacenters — far above any client access link.
+  double edge_down_mbps = 2000.0;
+  double edge_up_mbps = 2000.0;
 };
 
 /// Residential / mobile edge: median ~50 Mbps down (20% below 10 Mbps),

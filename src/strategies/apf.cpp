@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
+#include "agg/sparse_delta.h"
 #include "common/check.h"
 #include "compress/bitmask.h"
 #include "compress/encoding.h"
@@ -70,17 +72,21 @@ void ApfStrategy::run_round(SimEngine& engine, int round, RoundRecord& rec) {
     const double n = engine.num_clients();
     const double khat = static_cast<double>(included.size());
     double loss_sum = 0.0;
+    // Every client reports on the same active (non-frozen) set: share one
+    // index array across the round's whole batch.
+    const auto active_idx = SparseDelta::make_support(active.to_indices());
+    std::vector<SparseDelta> batch;
+    batch.reserve(included.size());
     for (size_t i = 0; i < included.size(); ++i) {
       const double nu = n / khat * engine.client_weight(included[i]);
-      const std::vector<float>& delta = results[i].delta;
       // Only active coordinates are transmitted / aggregated.
-      active.for_each_set([&](size_t j) {
-        agg[j] += static_cast<float>(nu) * delta[j];
-      });
+      batch.push_back(SparseDelta::gather_shared(
+          active_idx, results[i].delta.data(), static_cast<float>(nu)));
       axpy(static_cast<float>(1.0 / khat), results[i].stat_delta.data(),
            stat_agg.data(), engine.stat_dim());
       loss_sum += results[i].loss;
     }
+    engine.aggregator().reduce(batch, agg.data(), dim);
     float* params = engine.params().data();
     active.for_each_set([&](size_t j) {
       params[j] += agg[j];

@@ -1,8 +1,10 @@
 #include "strategies/async_fedbuff.h"
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
+#include "agg/sparse_delta.h"
 #include "common/check.h"
 #include "compress/bitmask.h"
 #include "tensor/ops.h"
@@ -25,7 +27,7 @@ double AsyncFedBuffStrategy::staleness_weight(int staleness) const {
 }
 
 void AsyncFedBuffStrategy::aggregate(SimEngine& engine, int version,
-                                     const std::vector<AsyncUpdate>& buffer,
+                                     std::vector<AsyncUpdate>& buffer,
                                      RoundRecord& rec) {
   BitMask changed(engine.dim());
   double wsum = 0.0;
@@ -35,15 +37,18 @@ void AsyncFedBuffStrategy::aggregate(SimEngine& engine, int version,
     std::vector<float> agg(engine.dim(), 0.0f);
     std::vector<float> stat_agg(engine.stat_dim(), 0.0f);
     double loss_sum = 0.0;
-    for (const auto& u : buffer) {
+    std::vector<SparseDelta> batch;
+    batch.reserve(buffer.size());
+    for (auto& u : buffer) {
       const double nu =
           cfg_.server_lr * staleness_weight(u.staleness) / wsum;
-      axpy(static_cast<float>(nu), u.result.delta.data(), agg.data(),
-           engine.dim());
+      batch.push_back(SparseDelta::dense(std::move(u.result.delta),
+                                         static_cast<float>(nu)));
       axpy(static_cast<float>(nu), u.result.stat_delta.data(),
            stat_agg.data(), engine.stat_dim());
       loss_sum += u.result.loss;
     }
+    engine.aggregator().reduce(batch, agg.data(), engine.dim());
     axpy(1.0f, agg.data(), engine.params().data(), engine.dim());
     axpy(1.0f, stat_agg.data(), engine.stats().data(), engine.stat_dim());
     rec.train_loss = loss_sum / static_cast<double>(buffer.size());

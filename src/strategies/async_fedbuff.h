@@ -44,7 +44,7 @@ class AsyncFedBuffStrategy final : public AsyncStrategy {
   /// Discount s(tau) applied to an update trained tau aggregations ago.
   double staleness_weight(int staleness) const;
   void aggregate(SimEngine& engine, int version,
-                 const std::vector<AsyncUpdate>& buffer,
+                 std::vector<AsyncUpdate>& buffer,
                  RoundRecord& rec) override;
 
  private:

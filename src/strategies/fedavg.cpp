@@ -1,5 +1,8 @@
 #include "strategies/fedavg.h"
 
+#include <utility>
+
+#include "agg/sparse_delta.h"
 #include "common/check.h"
 #include "compress/encoding.h"
 #include "tensor/ops.h"
@@ -29,20 +32,23 @@ void FedAvgStrategy::run_round(SimEngine& engine, int round,
 
   BitMask changed(engine.dim());
   if (!included.empty()) {
-    const auto results = engine.local_train(included, round);
+    auto results = engine.local_train(included, round);
     std::vector<float> agg(engine.dim(), 0.0f);
     std::vector<float> stat_agg(engine.stat_dim(), 0.0f);
     const double n = engine.num_clients();
     const double khat = static_cast<double>(included.size());
     double loss_sum = 0.0;
+    std::vector<SparseDelta> batch;
+    batch.reserve(included.size());
     for (size_t i = 0; i < included.size(); ++i) {
       const double nu = n / khat * engine.client_weight(included[i]);
-      axpy(static_cast<float>(nu), results[i].delta.data(), agg.data(),
-           engine.dim());
+      batch.push_back(SparseDelta::dense(std::move(results[i].delta),
+                                         static_cast<float>(nu)));
       axpy(static_cast<float>(1.0 / khat), results[i].stat_delta.data(),
            stat_agg.data(), engine.stat_dim());
       loss_sum += results[i].loss;
     }
+    engine.aggregator().reduce(batch, agg.data(), engine.dim());
     axpy(1.0f, agg.data(), engine.params().data(), engine.dim());
     axpy(1.0f, stat_agg.data(), engine.stats().data(), engine.stat_dim());
     rec.train_loss = loss_sum / khat;

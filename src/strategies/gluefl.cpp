@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <utility>
 
+#include "agg/sparse_delta.h"
 #include "common/check.h"
 #include "compress/encoding.h"
 #include "compress/topk.h"
@@ -92,9 +95,20 @@ void GlueFlStrategy::run_round(SimEngine& engine, int round,
     BitMask complement = mask_;
     complement.flip();
 
+    // Sticky clients all report on M_t, so the whole cohort shares ONE
+    // index array — each per-client shared payload is values-only, exactly
+    // like the wire encoding (values_only_bytes above).
+    std::shared_ptr<const std::vector<uint32_t>> shared_idx;
+    if (k_shr > 0) {
+      shared_idx = SparseDelta::make_support(mask_.to_indices());
+    }
+
     std::vector<float> agg_shr(dim, 0.0f);
     std::vector<float> agg_uni(dim, 0.0f);
     std::vector<float> stat_agg(engine.stat_dim(), 0.0f);
+    std::vector<SparseDelta> shr_batch, uni_batch;
+    if (k_shr > 0) shr_batch.reserve(included.size());
+    uni_batch.reserve(included.size());
     double loss_sum = 0.0;
     for (size_t i = 0; i < included.size(); ++i) {
       const int client = included[i];
@@ -105,15 +119,13 @@ void GlueFlStrategy::run_round(SimEngine& engine, int round,
 
       // Shared component: Delta restricted to M_t (positions implicit).
       if (k_shr > 0) {
-        mask_.for_each_set([&](size_t j) {
-          agg_shr[j] += static_cast<float>(nu) * delta[j];
-        });
+        shr_batch.push_back(SparseDelta::gather_shared(
+            shared_idx, delta.data(), static_cast<float>(nu)));
       }
       // Unique component: top_{q - q_shr} of the complement.
-      const SparseVec uni =
+      SparseVec uni =
           regen ? top_k_abs(delta.data(), dim, k_uni)
                 : top_k_abs_masked(delta.data(), dim, k_uni, complement);
-      scatter_add(uni, static_cast<float>(nu), agg_uni.data());
 
       // Residual h_i = Delta_i - (shared + unique parts actually sent).
       if (k_shr > 0) {
@@ -121,11 +133,17 @@ void GlueFlStrategy::run_round(SimEngine& engine, int round,
       }
       for (uint32_t idx : uni.idx) delta[idx] = 0.0f;
       ec_->store(client, nu, delta.data());
+      uni_batch.push_back(
+          SparseDelta::from_sparse(std::move(uni), static_cast<float>(nu)));
 
       axpy(static_cast<float>(1.0 / k_act), results[i].stat_delta.data(),
            stat_agg.data(), engine.stat_dim());
       loss_sum += results[i].loss;
     }
+    if (k_shr > 0) {
+      engine.aggregator().reduce(shr_batch, agg_shr.data(), dim);
+    }
+    engine.aggregator().reduce(uni_batch, agg_uni.data(), dim);
 
     // Server: Eq. (6) keeps the top_{q - q_shr} of the aggregated unique
     // gradients; the shared aggregate is applied as-is (Eq. 5).

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "agg/sparse_delta.h"
 #include "common/check.h"
 #include "compress/encoding.h"
 #include "compress/topk.h"
@@ -50,22 +52,26 @@ void StcStrategy::run_round(SimEngine& engine, int round, RoundRecord& rec) {
     const double n = engine.num_clients();
     const double khat = static_cast<double>(included.size());
     double loss_sum = 0.0;
+    std::vector<SparseDelta> batch;
+    batch.reserve(included.size());
     for (size_t i = 0; i < included.size(); ++i) {
       const int client = included[i];
       std::vector<float>& delta = results[i].delta;
       // STC memory: re-inject what previous compressions dropped.
       ec_->apply(client, 1.0, delta.data());
-      const SparseVec kept = top_k_abs(delta.data(), dim, k_);
+      SparseVec kept = top_k_abs(delta.data(), dim, k_);
       const double nu = n / khat * engine.client_weight(client);
-      scatter_add(kept, static_cast<float>(nu), agg.data());
       // Residual: the update minus what was sent.
       for (size_t j = 0; j < kept.idx.size(); ++j) delta[kept.idx[j]] = 0.0f;
       ec_->store(client, 1.0, delta.data());
+      batch.push_back(
+          SparseDelta::from_sparse(std::move(kept), static_cast<float>(nu)));
 
       axpy(static_cast<float>(1.0 / khat), results[i].stat_delta.data(),
            stat_agg.data(), engine.stat_dim());
       loss_sum += results[i].loss;
     }
+    engine.aggregator().reduce(batch, agg.data(), dim);
     // Server-side sparsification (Algorithm 1 line 17): top-q of the
     // aggregate becomes the actual model update.
     const SparseVec final_update = top_k_abs(agg.data(), dim, k_);

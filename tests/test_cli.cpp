@@ -166,7 +166,122 @@ TEST(CliRun, JsonFileFlagWritesTheSummary) {
   std::remove(path.c_str());
 }
 
+// ------------------------------------------------------ agg / topology
+
+TEST(CliAgg, ShardedRunEchoesSettingsInJson) {
+  const CliResult r =
+      invoke({"run", "--strategy", "fedavg", "--rounds", "1", "--scale",
+              "0.02", "--agg", "sharded", "--agg-shards", "4"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"agg\": \"sharded\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"agg_shards\": 4"), std::string::npos);
+  EXPECT_NE(r.out.find("\"topology\": \"flat\""), std::string::npos);
+}
+
+TEST(CliAgg, ShardedIsBitIdenticalToDenseThroughTheCli) {
+  const std::initializer_list<const char*> common = {
+      "run", "--strategy", "gluefl", "--rounds", "2", "--scale", "0.02",
+      "--eval-every", "1"};
+  std::vector<std::string> dense(common.begin(), common.end());
+  std::vector<std::string> sharded = dense;
+  sharded.insert(sharded.end(), {"--agg", "sharded", "--threads", "4"});
+  std::ostringstream dout, derr, sout, serr;
+  ASSERT_EQ(run_cli(dense, dout, derr), 0) << derr.str();
+  ASSERT_EQ(run_cli(sharded, sout, serr), 0) << serr.str();
+  // Identical trajectories / totals; only the echoed settings may differ.
+  const auto traj = [](const std::string& s) {
+    return s.substr(s.find("\"best_accuracy\""));
+  };
+  EXPECT_EQ(traj(dout.str()), traj(sout.str()));
+}
+
+TEST(CliAgg, ShardsBelowOneRejected) {
+  const CliResult r = invoke({"run", "--agg", "sharded", "--agg-shards", "0",
+                              "--rounds", "1", "--scale", "0.02"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--agg-shards"), std::string::npos);
+}
+
+TEST(CliAgg, ShardsRequireShardedBackend) {
+  const CliResult r = invoke({"run", "--agg-shards", "4", "--rounds", "1",
+                              "--scale", "0.02"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--agg-shards requires --agg=sharded"),
+            std::string::npos);
+}
+
+TEST(CliAgg, UnknownBackendRejected) {
+  const CliResult r = invoke({"run", "--agg", "turbo", "--rounds", "1"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("turbo"), std::string::npos);
+}
+
+TEST(CliTopology, HierarchicalRunEchoesTopology) {
+  const CliResult r = invoke({"run", "--strategy", "fedavg", "--rounds", "1",
+                              "--scale", "0.02", "--topology", "hier:2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"topology\": \"hier:2\""), std::string::npos);
+  EXPECT_NE(r.out.find("topology=hier:2"), std::string::npos);
+}
+
+TEST(CliTopology, ZeroEdgesRejected) {
+  const CliResult r = invoke({"run", "--topology", "hier:0", "--rounds", "1"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("hier:<E>"), std::string::npos);
+}
+
+TEST(CliTopology, MalformedSpecRejected) {
+  for (const char* spec : {"hier", "hier:", "hier:abc", "ring:3"}) {
+    const CliResult r = invoke({"run", "--topology", spec, "--rounds", "1"});
+    EXPECT_EQ(r.code, 2) << spec;
+  }
+}
+
+TEST(CliTopology, MoreEdgesThanClientsRejected) {
+  // femnist at scale 0.02 has well under 999999 clients.
+  const CliResult r = invoke({"run", "--topology", "hier:999999", "--rounds",
+                              "1", "--scale", "0.02"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("more edges than the population"), std::string::npos);
+}
+
+TEST(CliTopology, SweepAcceptsAggAndTopology) {
+  const CliResult r =
+      invoke({"sweep", "--dataset", "femnist", "--rounds", "1", "--scale",
+              "0.02", "--q", "0.2", "--agg", "sharded", "--topology",
+              "hier:2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"agg\": \"sharded\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"topology\": \"hier:2\""), std::string::npos);
+}
+
 // ---------------------------------------------------------------- async
+
+TEST(CliAsync, DefaultBufferClampsToLoweredConcurrency) {
+  // femnist's K is 30; with only --async-conc lowered, the buffer default
+  // must clamp to N rather than erroring about an unset --async-buffer.
+  const CliResult r = invoke({"run", "--exec=async", "--rounds", "1",
+                              "--scale", "0.02", "--async-conc", "5"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"buffer_size\": 5"), std::string::npos);
+}
+
+TEST(CliAsync, BufferLargerThanConcurrencyRejected) {
+  const CliResult r =
+      invoke({"run", "--exec=async", "--rounds", "1", "--scale", "0.02",
+              "--async-buffer", "50", "--async-conc", "10"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("must not exceed --async-conc"), std::string::npos);
+}
+
+TEST(CliAsync, SweepRejectsBufferArmAboveConcurrency) {
+  const CliResult r =
+      invoke({"sweep", "--exec=async", "--rounds", "1", "--scale", "0.02",
+              "--async-buffer", "3,50", "--async-conc", "10"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("must not exceed --async-conc"), std::string::npos);
+  EXPECT_EQ(r.out.find("best-acc"), std::string::npos);  // no arm ran
+}
 
 TEST(CliAsync, RunEmitsAsyncBlockAndStalenessColumn) {
   const CliResult r =
