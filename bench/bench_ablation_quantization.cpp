@@ -59,23 +59,30 @@ int main() {
   s.set_headers({"strategy payload", "fp32 bytes", "8-bit bytes", "saving"});
   const size_t dim = engine.dim();
   UniformQuantizer q8(8);
+  // Each value STREAM carries its own chunked scales on the wire, so
+  // GlueFL's shared and unique components are priced as two separate
+  // quantized payloads — summing the counts into one payload_bytes call
+  // would merge the streams' scale chunks and under-charge the boundary.
   struct Row {
     const char* label;
-    size_t values;
+    std::vector<size_t> value_streams;
     size_t positions;
   };
   const size_t k20 = dim / 5;
   const size_t k16 = static_cast<size_t>(0.16 * dim);
   const size_t k4 = static_cast<size_t>(0.04 * dim);
   const Row rows[] = {
-      {"FedAvg upload (dense)", dim, 0},
-      {"STC upload (top-20%)", k20, position_bytes(k20, dim)},
-      {"GlueFL upload (16% shared + 4% unique)", k16 + k4,
+      {"FedAvg upload (dense)", {dim}, 0},
+      {"STC upload (top-20%)", {k20}, position_bytes(k20, dim)},
+      {"GlueFL upload (16% shared + 4% unique)", {k16, k4},
        position_bytes(k4, dim)},
   };
   for (const Row& r : rows) {
-    const size_t fp32 = values_only_bytes(r.values) + r.positions;
-    const size_t q = q8.payload_bytes(r.values) + r.positions;
+    size_t fp32 = r.positions, q = r.positions;
+    for (const size_t v : r.value_streams) {
+      fp32 += values_only_bytes(v);
+      q += q8.payload_bytes(v);
+    }
     s.add_row({r.label, fmt_bytes(static_cast<double>(fp32)),
                fmt_bytes(static_cast<double>(q)),
                fmt_percent(1.0 - static_cast<double>(q) / fp32)});

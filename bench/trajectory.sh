@@ -1,19 +1,20 @@
 #!/usr/bin/env sh
-# Runs the perf-trajectory benches (async throughput + aggregation scale)
-# and merges their JSON summaries into one trajectory file.
+# Runs the perf-trajectory benches (async throughput + aggregation scale +
+# wire codec) and merges their JSON summaries into one trajectory file.
 #
 #   sh bench/trajectory.sh [OUT_JSON] [BUILD_DIR]
 #
-# Defaults: OUT_JSON=BENCH_3.json, BUILD_DIR=build. Honors the benches'
-# environment knobs (GLUEFL_ROUNDS, GLUEFL_FULL, GLUEFL_AGG_*); CI passes
-# GLUEFL_ROUNDS=1 for a fast smoke, the committed repo-root BENCH_3.json
-# is produced with the defaults.
+# Defaults: OUT_JSON=BENCH_4.json, BUILD_DIR=build. Honors the benches'
+# environment knobs (GLUEFL_ROUNDS, GLUEFL_FULL, GLUEFL_AGG_*,
+# GLUEFL_WIRE_DIM); CI passes GLUEFL_ROUNDS=1 for a fast smoke, the
+# committed repo-root BENCH_4.json is produced with the defaults (the wire
+# bench's default dimension is already OpenImage scale, 5e6 params).
 set -eu
 
-out=${1:-BENCH_3.json}
+out=${1:-BENCH_4.json}
 bindir=${2:-build}
 
-for bin in bench_async_throughput bench_agg_scale; do
+for bin in bench_async_throughput bench_agg_scale bench_wire_codec; do
   if [ ! -x "$bindir/$bin" ]; then
     echo "error: $bindir/$bin not built (cmake --build $bindir --target $bin)" >&2
     exit 1
@@ -22,12 +23,14 @@ done
 
 tmp_async=$(mktemp)
 tmp_agg=$(mktemp)
-trap 'rm -f "$tmp_async" "$tmp_agg"' EXIT
+tmp_wire=$(mktemp)
+trap 'rm -f "$tmp_async" "$tmp_agg" "$tmp_wire"' EXIT
 
 GLUEFL_BENCH_JSON="$tmp_async" "$bindir/bench_async_throughput" >/dev/null
 GLUEFL_BENCH_JSON="$tmp_agg" "$bindir/bench_agg_scale" >/dev/null
+GLUEFL_BENCH_JSON="$tmp_wire" "$bindir/bench_wire_codec" >/dev/null
 
-# Both bench summaries are single-line JSON objects; compose without jq.
-printf '{"schema": "gluefl.trajectory.v1", "async": %s, "agg_scale": %s}\n' \
-  "$(cat "$tmp_async")" "$(cat "$tmp_agg")" > "$out"
+# The bench summaries are single-line JSON objects; compose without jq.
+printf '{"schema": "gluefl.trajectory.v1", "async": %s, "agg_scale": %s, "wire_codec": %s}\n' \
+  "$(cat "$tmp_async")" "$(cat "$tmp_agg")" "$(cat "$tmp_wire")" > "$out"
 echo "trajectory written to $out"

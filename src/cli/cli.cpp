@@ -60,6 +60,9 @@ run flags:
                      omit for an automatic count)
   --topology SPEC    flat, or hier:<E> for E edge aggregators
                      between clients and cloud                   [flat]
+  --wire MODE        byte accounting: encoded (serialize real
+                     payloads, price measured bytes) | analytic
+                     (pre-wire size formulas, for A/B)           [encoded]
   --json FILE        also write the JSON summary to FILE
 
 async run flags (require --exec=async):
@@ -71,7 +74,7 @@ async run flags (require --exec=async):
   --max-staleness N    weight 0 beyond this staleness; 0 = off   [0]
 
 sweep flags (plus --dataset/--model/--env/--rounds/--scale/--seed/
-             --agg/--agg-shards/--topology above):
+             --agg/--agg-shards/--topology/--wire above):
   --q LIST           total mask ratios, e.g. 0.1,0.2,0.3
   --q-shr LIST       shared mask ratios, e.g. 0.08,0.16
   --sticky-s LIST    sticky group sizes S (absolute client counts)
@@ -232,6 +235,7 @@ RunOptions resolve_common(Flags& flags) {
   opt.agg = flags.str("agg", opt.agg);
   opt.agg_shards = static_cast<int>(flags.integer("agg-shards", 0, 1, 65536));
   opt.topology = flags.str("topology", opt.topology);
+  opt.wire = flags.str("wire", opt.wire);
   opt.json_path = flags.str("json", "");
 
   require_name("dataset", opt.dataset, dataset_names());
@@ -239,6 +243,7 @@ RunOptions resolve_common(Flags& flags) {
   require_name("network env", opt.env, env_names());
   require_name("exec mode", opt.exec, {"sync", "async"});
   require_name("aggregator", opt.agg, {"dense", "sharded"});
+  require_name("wire mode", opt.wire, {"encoded", "analytic"});
   if (flags.provided("agg-shards") && opt.agg != "sharded") {
     throw UsageError("--agg-shards requires --agg=sharded");
   }
@@ -355,6 +360,8 @@ SimEngine make_cli_engine(const RunOptions& opt, const SyntheticSpec& spec,
   run.agg.kind = opt.agg == "sharded" ? AggKind::kSharded : AggKind::kDense;
   run.agg.shards = opt.agg_shards;
   run.topology.num_edges = opt.num_edges;
+  run.wire.mode =
+      opt.wire == "analytic" ? WireMode::kAnalytic : WireMode::kEncoded;
   return SimEngine(make_synthetic_dataset(spec),
                    make_proxy(opt.model, spec.feature_dim, spec.num_classes),
                    make_env(opt.env), train, run);
@@ -404,19 +411,26 @@ std::string totals_json(const RunTotals& t) {
   return os.str();
 }
 
+// Per-eval trajectory entries. Round byte figures are the priced payload
+// sizes — measured encodes under --wire=encoded, analytic formulas under
+// --wire=analytic.
 std::string trajectory_json(const RunResult& res) {
   std::ostringstream os;
   os << "[";
-  double cum_down = 0.0, cum_wall = 0.0;
+  double cum_down = 0.0, cum_up = 0.0, cum_wall = 0.0;
   bool first = true;
   for (const auto& r : res.rounds) {
     cum_down += r.down_bytes / kBytesPerGb;
+    cum_up += r.up_bytes / kBytesPerGb;
     cum_wall += r.wall_time_s / 3600.0;
     if (std::isnan(r.test_acc)) continue;
     if (!first) os << ", ";
     first = false;
     os << "{\"round\": " << r.round << ", \"accuracy\": " << jnum(r.test_acc)
+       << ", \"round_down_bytes\": " << jnum(r.down_bytes)
+       << ", \"round_up_bytes\": " << jnum(r.up_bytes)
        << ", \"cum_down_gb\": " << jnum(cum_down)
+       << ", \"cum_up_gb\": " << jnum(cum_up)
        << ", \"cum_wall_h\": " << jnum(cum_wall) << "}";
   }
   os << "]";
@@ -447,7 +461,8 @@ std::string run_json(const RunOptions& opt, const std::string& strategy,
      << ", \"clients_per_round\": " << k << ", \"scale\": " << jnum(opt.scale)
      << ", \"seed\": " << opt.seed << ", \"agg\": " << jstr(opt.agg)
      << ", \"agg_shards\": " << opt.agg_shards
-     << ", \"topology\": " << jstr(opt.topology);
+     << ", \"topology\": " << jstr(opt.topology)
+     << ", \"wire\": " << jstr(opt.wire);
   if (!async_block.empty()) os << ", \"async\": " << async_block;
   os << ", \"best_accuracy\": " << jnum(res.best_accuracy())
      << ", \"totals\": " << totals_json(totals)
@@ -746,6 +761,7 @@ int cmd_sweep_async(Flags& flags, const RunOptions& opt, std::ostream& out) {
        << ", \"agg\": " << jstr(opt.agg)
        << ", \"agg_shards\": " << opt.agg_shards
        << ", \"topology\": " << jstr(opt.topology)
+       << ", \"wire\": " << jstr(opt.wire)
        << ", \"rounds\": " << opt.rounds << ", \"concurrency\": " << conc
        << ", \"staleness\": " << jstr(base.staleness)
        << ", \"target_accuracy\": " << jnum(target) << ", \"arms\": [";
@@ -852,6 +868,7 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
        << ", \"agg\": " << jstr(opt.agg)
        << ", \"agg_shards\": " << opt.agg_shards
        << ", \"topology\": " << jstr(opt.topology)
+       << ", \"wire\": " << jstr(opt.wire)
        << ", \"rounds\": " << opt.rounds
        << ", \"target_accuracy\": " << jnum(target) << ", \"arms\": [";
   for (size_t i = 0; i < runs.size(); ++i) {

@@ -56,6 +56,7 @@ struct RunOptions {
   int agg_shards = 0;             // sharded backend shard count; 0 = auto
   std::string topology = "flat";  // "flat" or "hier:<E>"
   int num_edges = 0;              // parsed from topology; 0 = flat
+  std::string wire = "encoded";   // byte accounting: encoded | analytic
   std::string json_path;   // empty = stdout only
 };
 

@@ -1,9 +1,7 @@
 #include "compress/quantizer.h"
 
-#include <algorithm>
-#include <cmath>
-
 #include "common/check.h"
+#include "wire/codec.h"
 
 namespace gluefl {
 
@@ -11,26 +9,19 @@ UniformQuantizer::UniformQuantizer(int bits) : bits_(bits) {
   GLUEFL_CHECK(bits >= 1 && bits <= 16);
 }
 
-float UniformQuantizer::quantize(float* x, size_t n, Rng& rng) const {
-  if (n == 0) return 0.0f;
-  float max_abs = 0.0f;
-  for (size_t i = 0; i < n; ++i) max_abs = std::max(max_abs, std::fabs(x[i]));
-  if (max_abs == 0.0f) return 0.0f;
-  const int levels = (1 << bits_) - 1;  // symmetric grid over [-max, max]
-  const float scale = 2.0f * max_abs / static_cast<float>(levels);
-  for (size_t i = 0; i < n; ++i) {
-    const float t = (x[i] + max_abs) / scale;  // in [0, levels]
-    const float lo = std::floor(t);
-    const float frac = t - lo;
-    // Stochastic rounding keeps the quantizer unbiased in expectation.
-    const float q = lo + (rng.uniform() < frac ? 1.0f : 0.0f);
-    x[i] = std::clamp(q, 0.0f, static_cast<float>(levels)) * scale - max_abs;
-  }
-  return scale;
+void UniformQuantizer::quantize(float* x, size_t n, Rng& rng) const {
+  // Delegates to the wire codec so the transform and payload_bytes always
+  // describe the SAME encoding (per-256-value chunk scales, stochastic
+  // rounding). The pre-wire version applied one global scale, which no
+  // encoder emits anymore.
+  wire::quantize_values(x, n, bits_, rng);
 }
 
 size_t UniformQuantizer::payload_bytes(size_t n) const {
-  return (n * static_cast<size_t>(bits_) + 7) / 8 + 4;
+  // Delegates to the wire codec's exact chunked-encoding size. The old
+  // hand-rolled "+4" assumed one global scale; the real encoding carries
+  // one fp32 scale per 256-value chunk, so the two disagreed for n > 256.
+  return wire::quantized_values_bytes(n, bits_);
 }
 
 }  // namespace gluefl

@@ -23,12 +23,16 @@ class UniformQuantizer {
   int bits() const { return bits_; }
 
   /// Quantizes x in place (dequantized values are written back, so the
-  /// caller observes exactly what the receiver would decode). Returns the
-  /// scale that was used.
-  float quantize(float* x, size_t n, Rng& rng) const;
+  /// caller observes exactly what the receiver would decode). This IS the
+  /// wire codec's ValueBlock transform — per-256-value chunk scales with
+  /// stochastic rounding (wire::quantize_values) — so fidelity and
+  /// payload_bytes describe the same encoding.
+  void quantize(float* x, size_t n, Rng& rng) const;
 
-  /// Wire bytes for n quantized values (levels are bit-packed) plus the
-  /// fp32 scale.
+  /// Exact wire bytes for n quantized values: bit-packed levels plus one
+  /// fp32 scale per 256-value chunk, delegated to the wire codec
+  /// (wire::quantized_values_bytes) so the estimate always matches what an
+  /// encoder actually emits.
   size_t payload_bytes(size_t n) const;
 
  private:

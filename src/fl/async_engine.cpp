@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "compress/encoding.h"
 #include "net/bandwidth.h"
+#include "wire/codec.h"
 
 namespace gluefl {
 
@@ -48,6 +49,7 @@ RunResult AsyncSimEngine::run(AsyncStrategy& strategy) {
     double dt = 0.0, ct = 0.0, ut = 0.0;
     size_t up_b = 0;
     LocalResult local;
+    std::vector<uint8_t> wire;  // encoded payload (--wire=encoded only)
   };
   auto later = [](const InFlight& a, const InFlight& b) {
     if (a.finish != b.finish) return a.finish > b.finish;
@@ -58,7 +60,10 @@ RunResult AsyncSimEngine::run(AsyncStrategy& strategy) {
 
   const int n = eng.num_clients();
   const double flops = eng.flops_per_client_round();
+  const bool enc = eng.wire_encoded();
   const size_t up_payload = dense_bytes(eng.dim()) + eng.stat_bytes();
+  const size_t down_extra =
+      enc ? wire::encoded_stats_bytes(eng.stat_dim()) : eng.stat_bytes();
   // Hierarchical topology: every dispatch traverses cloud -> edge ->
   // client and back. Dispatches are unsynchronized (each ships a diff for
   // a different model version), so unlike the synchronous path there is no
@@ -69,6 +74,9 @@ RunResult AsyncSimEngine::run(AsyncStrategy& strategy) {
   std::vector<AsyncUpdate> buffer;
   buffer.reserve(static_cast<size_t>(cfg_.buffer_size));
   Rng pick_rng = eng.async_rng(kPurposeSampling);
+  // Per-version downlink sizing (see fill_slots).
+  std::function<size_t(int)> down_fn;
+  int down_fn_version = -1;
 
   uint64_t seq = 0;
   int version = 0;          // completed aggregations == current model version
@@ -95,29 +103,49 @@ RunResult AsyncSimEngine::run(AsyncStrategy& strategy) {
     const std::vector<int> picked =
         pick_rng.sample_without_replacement(pool, take);
     auto locals = eng.local_train_seq(picked, version, seq);
+    // The sizing function (and its encoded-mode staleness cache) lives for
+    // a whole model version: fill_slots usually dispatches one client per
+    // event, so a per-call cache would never hit.
+    if (down_fn_version != version) {
+      down_fn = eng.down_bytes_fn(version, down_extra);
+      down_fn_version = version;
+    }
     for (size_t i = 0; i < picked.size(); ++i) {
       const int c = picked[i];
       const ClientProfile& p = eng.profiles()[static_cast<size_t>(c)];
-      const size_t down_b = eng.sync().sync_bytes(c, version) +
-                            eng.stat_bytes();
+      const size_t down_b = down_fn(c);
       InFlight f;
       f.seq = seq + i;
       f.client = c;
       f.version = version;
+      f.local = std::move(locals[i]);
+      // Training runs eagerly at dispatch, so unlike the synchronous path
+      // the async engine can serialize the real payload up front and use
+      // measured bytes for BOTH pricing and event timing.
+      if (enc) {
+        wire::WireEncoder we(eng.dim());
+        we.add_dense(f.local.delta.data(), f.local.delta.size());
+        we.add_stats(f.local.stat_delta.data(), f.local.stat_delta.size());
+        f.wire = we.finish();
+        f.up_b = f.wire.size();
+        // The frame now owns the payload; the fold decodes it back.
+        f.local.delta = std::vector<float>();
+        f.local.stat_delta = std::vector<float>();
+      } else {
+        f.up_b = up_payload;
+      }
       f.dt = transfer_seconds(static_cast<double>(down_b) * eng.wire_scale(),
                               p.down_mbps);
       f.ct = flops / (p.gflops * 1e9);
       f.ut = transfer_seconds(
-          static_cast<double>(up_payload) * eng.wire_scale(), p.up_mbps);
+          static_cast<double>(f.up_b) * eng.wire_scale(), p.up_mbps);
       if (topo != nullptr) {
         f.dt += topo->fetch_seconds(static_cast<double>(down_b) *
                                     eng.wire_scale());
-        f.ut += topo->uplink_seconds(static_cast<double>(up_payload) *
+        f.ut += topo->uplink_seconds(static_cast<double>(f.up_b) *
                                      eng.wire_scale());
       }
       f.finish = now + f.dt + f.ct + f.ut;
-      f.up_b = up_payload;
-      f.local = std::move(locals[i]);
       rec.down_bytes += static_cast<double>(down_b) * eng.wire_scale();
       rec.num_invited += 1;
       eng.sync().mark_synced(c, version);
@@ -165,6 +193,7 @@ RunResult AsyncSimEngine::run(AsyncStrategy& strategy) {
     u.client = f.client;
     u.version = f.version;
     u.result = std::move(f.local);
+    u.wire = std::move(f.wire);
     buffer.push_back(std::move(u));
     rec.up_bytes += static_cast<double>(f.up_b) * eng.wire_scale();
     rec.down_time_s = std::max(rec.down_time_s, f.dt);

@@ -21,6 +21,9 @@
 // reproducible and independent of the training thread count.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "fl/engine.h"
 #include "fl/metrics.h"
 #include "fl/sim_config.h"
@@ -34,6 +37,11 @@ struct AsyncUpdate {
   int version = 0;    // aggregation version the client trained against
   int staleness = 0;  // aggregation version at fold time - version
   LocalResult result;
+  /// Under --wire=encoded: the actual serialized payload (delta + stats),
+  /// encoded at dispatch; `result.delta`/`result.stat_delta` are then
+  /// emptied so the strategy MUST aggregate the decoded frame. Empty under
+  /// analytic accounting.
+  std::vector<uint8_t> wire;
 };
 
 class AsyncSimEngine {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <memory>
 #include <thread>
 
 #include "common/check.h"
@@ -9,6 +11,7 @@
 #include "net/bandwidth.h"
 #include "nn/optimizer.h"
 #include "tensor/ops.h"
+#include "wire/codec.h"
 
 namespace gluefl {
 
@@ -143,7 +146,8 @@ double SimEngine::flops_per_client_round() const {
 Participation SimEngine::simulate_participation(
     int round, const CandidateSet& cand,
     const std::function<size_t(int)>& down_bytes_fn,
-    const std::function<size_t(int)>& up_bytes_fn, RoundRecord& rec) {
+    const std::function<size_t(int)>& up_bytes_fn, RoundRecord& rec,
+    bool defer_uplink) {
   struct Timed {
     int id = 0;
     double dt = 0.0, ct = 0.0, ut = 0.0, finish = 0.0;
@@ -241,28 +245,11 @@ Participation SimEngine::simulate_participation(
     }
   }
 
-  // Per-edge upload batching state (hierarchical only): members' payloads
-  // merge into one partial aggregate per edge before the cloud uplink.
-  std::vector<size_t> edge_up_sum;
-  std::vector<double> edge_finish;
-  if (topo != nullptr) {
-    edge_up_sum.assign(static_cast<size_t>(topo->num_edges()), 0);
-    edge_finish.assign(static_cast<size_t>(topo->num_edges()), 0.0);
-  }
-
   Participation part;
   auto include = [&](const Timed& t, std::vector<int>& group) {
     group.push_back(t.id);
-    if (topo != nullptr) {
-      const size_t e = static_cast<size_t>(topo->edge_of(t.id));
-      edge_up_sum[e] += up_bytes_fn(t.id);
-      edge_finish[e] = std::max(edge_finish[e], t.finish);
-    } else {
-      rec.up_bytes += static_cast<double>(up_bytes_fn(t.id)) * wire_scale_;
-      rec.wall_time_s = std::max(rec.wall_time_s, t.finish);
-    }
+    part.ready_s.push_back(t.dt + t.ct);
     rec.down_time_s = std::max(rec.down_time_s, t.dt);
-    rec.up_time_s = std::max(rec.up_time_s, t.ut);
     rec.compute_time_s = std::max(rec.compute_time_s, t.ct);
     const int st = sync_->staleness(t.id, round);
     if (st >= 0) {
@@ -281,12 +268,67 @@ Participation SimEngine::simulate_participation(
     include(other_t[static_cast<size_t>(i)], part.nonsticky);
   }
 
+  rec.num_included += static_cast<int>(part.sticky.size() +
+                                       part.nonsticky.size());
+  rec.mean_staleness = stale_n > 0 ? stale_sum / stale_n : 0.0;
+
+  // All invitees received w^{round} during their download.
+  for (const auto& t : sticky_t) sync_->mark_synced(t.id, round);
+  for (const auto& t : other_t) sync_->mark_synced(t.id, round);
+
+  // Immediate pricing reproduces the classic single-call behaviour: the
+  // cutoff estimate IS the priced size, so up-bytes/up-time/wall-time come
+  // out exactly as before the deferred path existed.
+  if (!defer_uplink) price_uplinks(part, up_bytes_fn, rec);
+  return part;
+}
+
+void SimEngine::price_uplinks(const Participation& part,
+                              const std::function<size_t(int)>& up_bytes_fn,
+                              RoundRecord& rec) {
+  const HierarchicalTopology* topo = topology_.get();
+  const std::vector<int> included = part.all();
+  GLUEFL_CHECK_MSG(included.size() == part.ready_s.size(),
+                   "price_uplinks needs the Participation from "
+                   "simulate_participation");
+
+  // Per-edge upload batching state (hierarchical only): members' payloads
+  // merge into one partial aggregate per edge before the cloud uplink.
+  std::vector<size_t> edge_up_sum;
+  std::vector<double> edge_finish;
+  if (topo != nullptr) {
+    edge_up_sum.assign(static_cast<size_t>(topo->num_edges()), 0);
+    edge_finish.assign(static_cast<size_t>(topo->num_edges()), 0.0);
+  }
+
+  for (size_t i = 0; i < included.size(); ++i) {
+    const int id = included[i];
+    const size_t up_b = up_bytes_fn(id);
+    const ClientProfile& p = profiles_[static_cast<size_t>(id)];
+    const double ut = transfer_seconds(
+        static_cast<double>(up_b) * wire_scale_, p.up_mbps);
+    const double finish = part.ready_s[i] + ut;
+    rec.up_time_s = std::max(rec.up_time_s, ut);
+    if (topo != nullptr) {
+      const size_t e = static_cast<size_t>(topo->edge_of(id));
+      edge_up_sum[e] += up_b;
+      edge_finish[e] = std::max(edge_finish[e], finish);
+    } else {
+      rec.up_bytes += static_cast<double>(up_b) * wire_scale_;
+      rec.wall_time_s = std::max(rec.wall_time_s, finish);
+    }
+  }
+
   if (topo != nullptr) {
     // Edge -> cloud: each serving edge uplinks one partial aggregate as
     // soon as its slowest included member lands. The round completes when
     // the last edge's uplink does.
     const size_t dense_cap = dense_bytes(dim_) + stat_bytes();
     for (size_t e = 0; e < edge_up_sum.size(); ++e) {
+      // Members' download + compute + (possibly zero-cost) upload always
+      // bound the round, even when the edge has nothing to uplink — the
+      // encoded APF path legitimately prices zero-byte uploads.
+      rec.wall_time_s = std::max(rec.wall_time_s, edge_finish[e]);
       if (edge_up_sum[e] == 0) continue;
       const size_t up_b = HierarchicalTopology::partial_aggregate_bytes(
           edge_up_sum[e], dense_cap);
@@ -297,15 +339,42 @@ Participation SimEngine::simulate_participation(
       rec.wall_time_s = std::max(rec.wall_time_s, edge_finish[e] + uplink_s);
     }
   }
+}
 
-  rec.num_included += static_cast<int>(part.sticky.size() +
-                                       part.nonsticky.size());
-  rec.mean_staleness = stale_n > 0 ? stale_sum / stale_n : 0.0;
+void SimEngine::price_uplinks(const Participation& part,
+                              const std::map<int, size_t>& measured_bytes,
+                              RoundRecord& rec) {
+  price_uplinks(
+      part,
+      [&measured_bytes](int c) {
+        const auto it = measured_bytes.find(c);
+        return it != measured_bytes.end() ? it->second : size_t{0};
+      },
+      rec);
+}
 
-  // All invitees received w^{round} during their download.
-  for (const auto& t : sticky_t) sync_->mark_synced(t.id, round);
-  for (const auto& t : other_t) sync_->mark_synced(t.id, round);
-  return part;
+size_t SimEngine::encoded_sync_bytes(int client, int round) const {
+  return wire::encoded_sync_bytes(sync_->stale_mask(client, round));
+}
+
+std::function<size_t(int)> SimEngine::down_bytes_fn(int round,
+                                                    size_t extra_bytes) {
+  if (!wire_encoded()) {
+    return [this, round, extra_bytes](int c) {
+      return sync_->sync_bytes(c, round) + extra_bytes;
+    };
+  }
+  // Measured mode: one real mask-codec run per distinct staleness — every
+  // client that last synced at the same round downloads the same frame.
+  auto cache = std::make_shared<std::map<int, size_t>>();
+  return [this, round, extra_bytes, cache](int c) {
+    const int ls = sync_->last_synced_round(c);
+    const auto it = cache->find(ls);
+    const size_t sync_b = it != cache->end()
+                              ? it->second
+                              : (*cache)[ls] = encoded_sync_bytes(c, round);
+    return sync_b + extra_bytes;
+  };
 }
 
 void SimEngine::train_one(Worker& w, int client, double lr, Rng rng,

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -49,6 +50,10 @@ struct Participation {
   std::vector<int> sticky;     // included, from the sticky invitation list
   std::vector<int> nonsticky;  // included, from the non-sticky list
   std::vector<int> all() const;
+  /// Download + compute seconds per included client, aligned with all()
+  /// (sticky first). price_uplinks() adds the upload leg on top — under
+  /// --wire=encoded that happens only after the real payloads exist.
+  std::vector<double> ready_s;
 };
 
 class SimEngine {
@@ -127,10 +132,52 @@ class SimEngine {
   /// Straggler / over-commitment simulation. `down_bytes_fn` /
   /// `up_bytes_fn` give per-client payload sizes; fills the byte and time
   /// fields of `rec` and marks every invitee synced at `round`.
+  ///
+  /// With `defer_uplink` the upload leg is NOT priced: `up_bytes_fn` then
+  /// only orders the straggler cutoff (the server's scheduling estimate),
+  /// and the caller must invoke price_uplinks() once the actual payload
+  /// sizes are known — how --wire=encoded prices measured encodes that
+  /// cannot exist before the included clients have trained.
   Participation simulate_participation(
       int round, const CandidateSet& cand,
       const std::function<size_t(int)>& down_bytes_fn,
-      const std::function<size_t(int)>& up_bytes_fn, RoundRecord& rec);
+      const std::function<size_t(int)>& up_bytes_fn, RoundRecord& rec,
+      bool defer_uplink = false);
+
+  /// Prices the upload leg of an earlier deferred simulate_participation:
+  /// accumulates up_bytes / up_time_s / wall_time_s (and, under a
+  /// hierarchical topology, the per-edge partial-aggregate uplinks) from
+  /// `up_bytes_fn` over the included clients.
+  void price_uplinks(const Participation& part,
+                     const std::function<size_t(int)>& up_bytes_fn,
+                     RoundRecord& rec);
+
+  /// Convenience for the encoded strategies: prices the measured
+  /// per-client encode sizes collected during aggregation. A client
+  /// absent from the map uploaded nothing (e.g. APF with every
+  /// coordinate frozen) and prices zero bytes.
+  void price_uplinks(const Participation& part,
+                     const std::map<int, size_t>& measured_bytes,
+                     RoundRecord& rec);
+
+  /// Byte-accounting mode (RunConfig::wire).
+  WireMode wire_mode() const { return run_cfg_.wire.mode; }
+  bool wire_encoded() const {
+    return run_cfg_.wire.mode == WireMode::kEncoded;
+  }
+
+  /// Measured downlink sync bytes for `client` at `round`: the real mask
+  /// codec run over the SyncTracker's stale-position union, plus the fp32
+  /// values it selects. 0 when the client is current.
+  size_t encoded_sync_bytes(int client, int round) const;
+
+  /// Per-client downlink size function for `round`, honoring wire_mode():
+  /// analytic — SyncTracker::sync_bytes + extra_bytes; encoded — the
+  /// measured sync frame + extra_bytes, cached per last-synced round (every
+  /// client at the same staleness shares one server-side encode). The
+  /// caller supplies `extra_bytes` for whatever rides along (BN stats,
+  /// strategy masks), already sized for the active mode.
+  std::function<size_t(int)> down_bytes_fn(int round, size_t extra_bytes);
 
   /// Trains `clients` locally (in parallel) from the current global model.
   /// Results are indexed like `clients`. Deterministic regardless of the

@@ -50,6 +50,20 @@ struct TopologyConfig {
   bool hierarchical() const { return num_edges > 0; }
 };
 
+/// Byte-accounting mode (src/wire/codec.h, DESIGN.md §7).
+///   kAnalytic: payload sizes come from the compress/encoding.h formulas
+///              (the pre-wire behaviour, kept for A/B regression).
+///   kEncoded:  client updates are actually serialized through the wire
+///              codec; transfers are priced off the measured buffer sizes
+///              and aggregation consumes the decoded payloads.
+enum class WireMode { kAnalytic, kEncoded };
+
+struct WireConfig {
+  /// Library default stays analytic so direct-engine users keep their
+  /// bit-exact pre-wire accounting; the CLI defaults to encoded.
+  WireMode mode = WireMode::kAnalytic;
+};
+
 /// Round-loop / systems configuration.
 struct RunConfig {
   int rounds = 300;
@@ -66,6 +80,8 @@ struct RunConfig {
   AggConfig agg;
   /// Flat or hierarchical (edge -> cloud) aggregation topology.
   TopologyConfig topology;
+  /// Analytic (modelled) versus encoded (measured) byte accounting.
+  WireConfig wire;
 };
 
 }  // namespace gluefl

@@ -38,6 +38,23 @@ size_t SyncTracker::stale_positions(int client, int round) const {
   return u.count();
 }
 
+BitMask SyncTracker::stale_mask(int client, int round) const {
+  GLUEFL_CHECK(client >= 0 &&
+               client < static_cast<int>(last_sync_.size()));
+  GLUEFL_CHECK_MSG(round <= next_round_,
+                   "cannot query a round whose predecessors are unrecorded");
+  BitMask u(dim_);
+  const int ls = last_sync_[static_cast<size_t>(client)];
+  if (ls < 0 || ls < first_round_) {
+    u.set_all();  // never synced / off-window: full-model download
+    return u;
+  }
+  for (int r = ls; r < round; ++r) {
+    u |= changes_[static_cast<size_t>(r - first_round_)];
+  }
+  return u;
+}
+
 size_t SyncTracker::sync_bytes(int client, int round,
                                PositionEncoding enc) const {
   const size_t nnz = stale_positions(client, round);

@@ -37,6 +37,13 @@ class SyncTracker {
   /// Full dim when the client has never synced (or fell off the window).
   size_t stale_positions(int client, int round) const;
 
+  /// The union bitmap itself: every position the client must download.
+  /// All-ones when the client never synced (or fell off the window),
+  /// all-zeros when it is current. This is what the server would actually
+  /// serialize in the sync payload; --wire=encoded runs the real mask
+  /// codec over it to measure downlink bytes.
+  BitMask stale_mask(int client, int round) const;
+
   /// Wire bytes for that download: values + position encoding. Zero when
   /// the client is already current.
   size_t sync_bytes(int client, int round,

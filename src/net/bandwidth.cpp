@@ -15,10 +15,16 @@ BandwidthSampler::BandwidthSampler(LogNormalSpec down, LogNormalSpec up,
 }
 
 LinkSpec BandwidthSampler::sample(Rng& rng) const {
+  // z = sqrt(rho) * shared + sqrt(1 - rho) * own gives corr(zd, zu) = rho
+  // exactly (each z stays standard normal). The earlier rho * shared +
+  // sqrt(1 - rho^2) * own mixing yielded corr = rho^2 — e.g. the edge
+  // env's configured 0.6 came out as 0.36 (regression-tested in
+  // tests/test_net.cpp).
   const double shared = rng.normal();
-  const double mix = std::sqrt(1.0 - corr_ * corr_);
-  const double zd = corr_ * shared + mix * rng.normal();
-  const double zu = corr_ * shared + mix * rng.normal();
+  const double load = std::sqrt(corr_);
+  const double mix = std::sqrt(1.0 - corr_);
+  const double zd = load * shared + mix * rng.normal();
+  const double zu = load * shared + mix * rng.normal();
   LinkSpec link;
   link.down_mbps = std::clamp(std::exp(down_.mu_log + down_.sigma_log * zd),
                               down_.min_mbps, down_.max_mbps);
@@ -28,7 +34,14 @@ LinkSpec BandwidthSampler::sample(Rng& rng) const {
 }
 
 double transfer_seconds(double bytes, double mbps) {
-  GLUEFL_CHECK(mbps > 0.0);
+  // Every byte/rate the simulator prices funnels through here, so bad
+  // inputs (NaN payload sizes, negative byte counts, zero/Inf rates) must
+  // trap loudly instead of silently poisoning the timing totals. A
+  // zero-byte payload legitimately prices to 0 s.
+  GLUEFL_CHECK_MSG(std::isfinite(bytes) && bytes >= 0.0,
+                   "transfer_seconds: bytes must be finite and >= 0");
+  GLUEFL_CHECK_MSG(std::isfinite(mbps) && mbps > 0.0,
+                   "transfer_seconds: mbps must be finite and > 0");
   return bytes * 8.0 / (mbps * 1e6);
 }
 

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "compress/bitmask.h"
 #include "tensor/ops.h"
+#include "wire/codec.h"
 
 namespace gluefl {
 
@@ -42,10 +43,20 @@ void AsyncFedBuffStrategy::aggregate(SimEngine& engine, int version,
     for (auto& u : buffer) {
       const double nu =
           cfg_.server_lr * staleness_weight(u.staleness) / wsum;
-      batch.push_back(SparseDelta::dense(std::move(u.result.delta),
-                                         static_cast<float>(nu)));
-      axpy(static_cast<float>(nu), u.result.stat_delta.data(),
-           stat_agg.data(), engine.stat_dim());
+      if (!u.wire.empty()) {
+        // --wire=encoded: the update arrived as a serialized frame (the
+        // engine emptied result.delta at dispatch); aggregate the decode.
+        wire::WireDecoder wd(u.wire.data(), u.wire.size(), engine.dim());
+        batch.push_back(wd.take_dense(static_cast<float>(nu)));
+        const std::vector<float> dec_stats = wd.take_stats();
+        axpy(static_cast<float>(nu), dec_stats.data(), stat_agg.data(),
+             engine.stat_dim());
+      } else {
+        batch.push_back(SparseDelta::dense(std::move(u.result.delta),
+                                           static_cast<float>(nu)));
+        axpy(static_cast<float>(nu), u.result.stat_delta.data(),
+             stat_agg.data(), engine.stat_dim());
+      }
       loss_sum += u.result.loss;
     }
     engine.aggregator().reduce(batch, agg.data(), engine.dim());

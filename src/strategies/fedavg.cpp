@@ -1,11 +1,13 @@
 #include "strategies/fedavg.h"
 
+#include <map>
 #include <utility>
 
 #include "agg/sparse_delta.h"
 #include "common/check.h"
 #include "compress/encoding.h"
 #include "tensor/ops.h"
+#include "wire/codec.h"
 
 namespace gluefl {
 
@@ -21,13 +23,14 @@ void FedAvgStrategy::run_round(SimEngine& engine, int round,
                        engine.run_config().overcommit, rng,
                        engine.availability_fn(round));
 
+  const bool enc = engine.wire_encoded();
   const size_t sb = engine.stat_bytes();
-  auto down = [&engine, round, sb](int c) {
-    return engine.sync().sync_bytes(c, round) + sb;
-  };
+  auto down = engine.down_bytes_fn(
+      round, enc ? wire::encoded_stats_bytes(engine.stat_dim()) : sb);
+  // Analytic dense size; cutoff estimate when uploads are measured.
   auto up = [&engine, sb](int) { return dense_bytes(engine.dim()) + sb; };
-  const Participation part =
-      engine.simulate_participation(round, cand, down, up, rec);
+  const Participation part = engine.simulate_participation(
+      round, cand, down, up, rec, /*defer_uplink=*/enc);
   const std::vector<int> included = part.all();
 
   BitMask changed(engine.dim());
@@ -40,14 +43,35 @@ void FedAvgStrategy::run_round(SimEngine& engine, int round,
     double loss_sum = 0.0;
     std::vector<SparseDelta> batch;
     batch.reserve(included.size());
+    std::map<int, size_t> measured;  // client -> encoded upload bytes
     for (size_t i = 0; i < included.size(); ++i) {
       const double nu = n / khat * engine.client_weight(included[i]);
-      batch.push_back(SparseDelta::dense(std::move(results[i].delta),
-                                         static_cast<float>(nu)));
-      axpy(static_cast<float>(1.0 / khat), results[i].stat_delta.data(),
-           stat_agg.data(), engine.stat_dim());
+      if (enc) {
+        // FedAvg ships the whole dense delta; encode it, price the frame,
+        // aggregate the decoded copy. The original is released right after
+        // serialization — the frame owns the payload now — so encoded mode
+        // keeps the analytic mode's one-dense-copy-per-client footprint.
+        wire::WireEncoder we(engine.dim());
+        we.add_dense(results[i].delta.data(), results[i].delta.size());
+        we.add_stats(results[i].stat_delta.data(), engine.stat_dim());
+        const std::vector<uint8_t> buf = we.finish();
+        results[i].delta = std::vector<float>();
+        results[i].stat_delta = std::vector<float>();
+        measured[included[i]] = buf.size();
+        wire::WireDecoder wd(buf.data(), buf.size(), engine.dim());
+        batch.push_back(wd.take_dense(static_cast<float>(nu)));
+        const std::vector<float> dec_stats = wd.take_stats();
+        axpy(static_cast<float>(1.0 / khat), dec_stats.data(),
+             stat_agg.data(), engine.stat_dim());
+      } else {
+        batch.push_back(SparseDelta::dense(std::move(results[i].delta),
+                                           static_cast<float>(nu)));
+        axpy(static_cast<float>(1.0 / khat), results[i].stat_delta.data(),
+             stat_agg.data(), engine.stat_dim());
+      }
       loss_sum += results[i].loss;
     }
+    if (enc) engine.price_uplinks(part, measured, rec);
     engine.aggregator().reduce(batch, agg.data(), engine.dim());
     axpy(1.0f, agg.data(), engine.params().data(), engine.dim());
     axpy(1.0f, stat_agg.data(), engine.stats().data(), engine.stat_dim());

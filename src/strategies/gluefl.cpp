@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <memory>
 #include <utility>
 
@@ -10,6 +11,7 @@
 #include "compress/encoding.h"
 #include "compress/topk.h"
 #include "tensor/ops.h"
+#include "wire/codec.h"
 
 namespace gluefl {
 
@@ -59,16 +61,23 @@ void GlueFlStrategy::run_round(SimEngine& engine, int round,
                        engine.run_config().overcommit, rng,
                        engine.availability_fn(round));
 
+  const bool enc = engine.wire_encoded();
   const size_t sb = engine.stat_bytes();
-  const size_t mask_bytes = mask_.wire_bytes();  // M_t shipped as a bitmap
-  auto down = [&engine, round, sb, mask_bytes](int c) {
-    return engine.sync().sync_bytes(c, round) + mask_bytes + sb;
-  };
+  // Downlink rider: the shared mask M_t plus BN stats — measured mask/stats
+  // frames under --wire=encoded, the analytic bitmap + dense-fp32 formulas
+  // otherwise.
+  const size_t down_extra =
+      enc ? wire::encoded_mask_bytes(mask_) +
+                wire::encoded_stats_bytes(engine.stat_dim())
+          : mask_.wire_bytes() + sb;
+  auto down = engine.down_bytes_fn(round, down_extra);
+  // The analytic upload size doubles as the straggler-cutoff estimate in
+  // encoded mode; the measured encodes are priced via price_uplinks below.
   const size_t up_bytes = values_only_bytes(k_shr) +
                           sparse_update_bytes(k_uni, dim) + sb;
   auto up = [up_bytes](int) { return up_bytes; };
-  const Participation part =
-      engine.simulate_participation(round, cand, down, up, rec);
+  const Participation part = engine.simulate_participation(
+      round, cand, down, up, rec, /*defer_uplink=*/enc);
 
   const int c_act = static_cast<int>(part.sticky.size());
   const int r_act = static_cast<int>(part.nonsticky.size());
@@ -99,8 +108,10 @@ void GlueFlStrategy::run_round(SimEngine& engine, int round,
     // index array — each per-client shared payload is values-only, exactly
     // like the wire encoding (values_only_bytes above).
     std::shared_ptr<const std::vector<uint32_t>> shared_idx;
+    uint32_t shared_id = 0;
     if (k_shr > 0) {
       shared_idx = SparseDelta::make_support(mask_.to_indices());
+      if (enc) shared_id = wire::support_id(*shared_idx);
     }
 
     std::vector<float> agg_shr(dim, 0.0f);
@@ -109,6 +120,7 @@ void GlueFlStrategy::run_round(SimEngine& engine, int round,
     std::vector<SparseDelta> shr_batch, uni_batch;
     if (k_shr > 0) shr_batch.reserve(included.size());
     uni_batch.reserve(included.size());
+    std::map<int, size_t> measured;  // client -> encoded upload bytes
     double loss_sum = 0.0;
     for (size_t i = 0; i < included.size(); ++i) {
       const int client = included[i];
@@ -118,9 +130,10 @@ void GlueFlStrategy::run_round(SimEngine& engine, int round,
       ec_->apply(client, nu, delta.data());
 
       // Shared component: Delta restricted to M_t (positions implicit).
+      std::vector<float> shr_vals;
       if (k_shr > 0) {
-        shr_batch.push_back(SparseDelta::gather_shared(
-            shared_idx, delta.data(), static_cast<float>(nu)));
+        shr_vals.reserve(shared_idx->size());
+        for (const uint32_t j : *shared_idx) shr_vals.push_back(delta[j]);
       }
       // Unique component: top_{q - q_shr} of the complement.
       SparseVec uni =
@@ -133,13 +146,40 @@ void GlueFlStrategy::run_round(SimEngine& engine, int round,
       }
       for (uint32_t idx : uni.idx) delta[idx] = 0.0f;
       ec_->store(client, nu, delta.data());
-      uni_batch.push_back(
-          SparseDelta::from_sparse(std::move(uni), static_cast<float>(nu)));
 
-      axpy(static_cast<float>(1.0 / k_act), results[i].stat_delta.data(),
-           stat_agg.data(), engine.stat_dim());
+      if (enc) {
+        // Serialize exactly what this client transmits, price the buffer,
+        // and aggregate the DECODED payload (identity for fp32 values).
+        wire::WireEncoder we(dim);
+        if (k_shr > 0) {
+          we.add_shared(shr_vals.data(), shr_vals.size(), shared_id);
+        }
+        we.add_unique(uni);
+        we.add_stats(results[i].stat_delta.data(), engine.stat_dim());
+        const std::vector<uint8_t> buf = we.finish();
+        measured[client] = buf.size();
+        wire::WireDecoder wd(buf.data(), buf.size(), dim);
+        if (k_shr > 0) {
+          shr_batch.push_back(
+              wd.take_shared(shared_idx, static_cast<float>(nu), &shared_id));
+        }
+        uni_batch.push_back(wd.take_unique(static_cast<float>(nu)));
+        const std::vector<float> dec_stats = wd.take_stats();
+        axpy(static_cast<float>(1.0 / k_act), dec_stats.data(),
+             stat_agg.data(), engine.stat_dim());
+      } else {
+        if (k_shr > 0) {
+          shr_batch.push_back(SparseDelta::on_shared(
+              shared_idx, std::move(shr_vals), static_cast<float>(nu)));
+        }
+        uni_batch.push_back(
+            SparseDelta::from_sparse(std::move(uni), static_cast<float>(nu)));
+        axpy(static_cast<float>(1.0 / k_act), results[i].stat_delta.data(),
+             stat_agg.data(), engine.stat_dim());
+      }
       loss_sum += results[i].loss;
     }
+    if (enc) engine.price_uplinks(part, measured, rec);
     if (k_shr > 0) {
       engine.aggregator().reduce(shr_batch, agg_shr.data(), dim);
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <utility>
 
 #include "agg/sparse_delta.h"
@@ -9,6 +10,7 @@
 #include "compress/encoding.h"
 #include "compress/topk.h"
 #include "tensor/ops.h"
+#include "wire/codec.h"
 
 namespace gluefl {
 
@@ -34,14 +36,16 @@ void StcStrategy::run_round(SimEngine& engine, int round, RoundRecord& rec) {
                        engine.availability_fn(round));
 
   const size_t dim = engine.dim();
+  const bool enc = engine.wire_encoded();
   const size_t sb = engine.stat_bytes();
-  auto down = [&engine, round, sb](int c) {
-    return engine.sync().sync_bytes(c, round) + sb;
-  };
+  auto down = engine.down_bytes_fn(
+      round, enc ? wire::encoded_stats_bytes(engine.stat_dim()) : sb);
+  // Analytic size; doubles as the cutoff estimate when uploads are priced
+  // off measured encodes.
   const size_t up_bytes = sparse_update_bytes(k_, dim) + sb;
   auto up = [up_bytes](int) { return up_bytes; };
-  const Participation part =
-      engine.simulate_participation(round, cand, down, up, rec);
+  const Participation part = engine.simulate_participation(
+      round, cand, down, up, rec, /*defer_uplink=*/enc);
   const std::vector<int> included = part.all();
 
   BitMask changed(dim);
@@ -54,6 +58,7 @@ void StcStrategy::run_round(SimEngine& engine, int round, RoundRecord& rec) {
     double loss_sum = 0.0;
     std::vector<SparseDelta> batch;
     batch.reserve(included.size());
+    std::map<int, size_t> measured;  // client -> encoded upload bytes
     for (size_t i = 0; i < included.size(); ++i) {
       const int client = included[i];
       std::vector<float>& delta = results[i].delta;
@@ -64,13 +69,28 @@ void StcStrategy::run_round(SimEngine& engine, int round, RoundRecord& rec) {
       // Residual: the update minus what was sent.
       for (size_t j = 0; j < kept.idx.size(); ++j) delta[kept.idx[j]] = 0.0f;
       ec_->store(client, 1.0, delta.data());
-      batch.push_back(
-          SparseDelta::from_sparse(std::move(kept), static_cast<float>(nu)));
 
-      axpy(static_cast<float>(1.0 / khat), results[i].stat_delta.data(),
-           stat_agg.data(), engine.stat_dim());
+      if (enc) {
+        // Ship the real top-k frame; aggregate the decoded payload.
+        wire::WireEncoder we(dim);
+        we.add_unique(kept);
+        we.add_stats(results[i].stat_delta.data(), engine.stat_dim());
+        const std::vector<uint8_t> buf = we.finish();
+        measured[client] = buf.size();
+        wire::WireDecoder wd(buf.data(), buf.size(), dim);
+        batch.push_back(wd.take_unique(static_cast<float>(nu)));
+        const std::vector<float> dec_stats = wd.take_stats();
+        axpy(static_cast<float>(1.0 / khat), dec_stats.data(),
+             stat_agg.data(), engine.stat_dim());
+      } else {
+        batch.push_back(
+            SparseDelta::from_sparse(std::move(kept), static_cast<float>(nu)));
+        axpy(static_cast<float>(1.0 / khat), results[i].stat_delta.data(),
+             stat_agg.data(), engine.stat_dim());
+      }
       loss_sum += results[i].loss;
     }
+    if (enc) engine.price_uplinks(part, measured, rec);
     engine.aggregator().reduce(batch, agg.data(), dim);
     // Server-side sparsification (Algorithm 1 line 17): top-q of the
     // aggregate becomes the actual model update.

@@ -255,6 +255,39 @@ TEST(CliTopology, SweepAcceptsAggAndTopology) {
   EXPECT_NE(r.out.find("\"topology\": \"hier:2\""), std::string::npos);
 }
 
+// ---------------------------------------------------------------- wire
+
+TEST(CliWire, DefaultsToEncodedAndEchoesInJson) {
+  const CliResult r = invoke({"run", "--rounds", "1", "--eval-every", "1",
+                              "--scale", "0.02"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"wire\": \"encoded\""), std::string::npos);
+  // Measured per-round byte fields ride the trajectory entries.
+  EXPECT_NE(r.out.find("\"round_up_bytes\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"cum_up_gb\""), std::string::npos);
+}
+
+TEST(CliWire, AnalyticModeAcceptedForAbRegression) {
+  const CliResult r = invoke({"run", "--rounds", "1", "--eval-every", "1",
+                              "--scale", "0.02", "--wire", "analytic"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"wire\": \"analytic\""), std::string::npos);
+}
+
+TEST(CliWire, UnknownModeRejected) {
+  const CliResult r = invoke({"run", "--wire", "telepathy", "--rounds", "1"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("wire mode"), std::string::npos);
+}
+
+TEST(CliWire, SweepEchoesWireMode) {
+  const CliResult r =
+      invoke({"sweep", "--dataset", "femnist", "--rounds", "1", "--scale",
+              "0.02", "--q", "0.2", "--wire", "analytic"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"wire\": \"analytic\""), std::string::npos);
+}
+
 // ---------------------------------------------------------------- async
 
 TEST(CliAsync, DefaultBufferClampsToLoweredConcurrency) {

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -17,7 +18,60 @@ namespace {
 TEST(Bandwidth, TransferSecondsMath) {
   // 1 MB over 8 Mbps = 1 second.
   EXPECT_NEAR(transfer_seconds(1e6, 8.0), 1.0, 1e-9);
-  EXPECT_NEAR(transfer_seconds(0.0, 10.0), 0.0, 1e-12);
+  // A zero-byte payload must price to exactly 0 s, not trap.
+  EXPECT_DOUBLE_EQ(transfer_seconds(0.0, 10.0), 0.0);
+}
+
+TEST(Bandwidth, TransferSecondsRejectsBadInputs) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  // Negative / non-finite byte counts.
+  EXPECT_THROW(transfer_seconds(-1.0, 10.0), CheckError);
+  EXPECT_THROW(transfer_seconds(nan, 10.0), CheckError);
+  EXPECT_THROW(transfer_seconds(inf, 10.0), CheckError);
+  // Zero / negative / non-finite rates.
+  EXPECT_THROW(transfer_seconds(1000.0, 0.0), CheckError);
+  EXPECT_THROW(transfer_seconds(1000.0, -5.0), CheckError);
+  EXPECT_THROW(transfer_seconds(1000.0, nan), CheckError);
+  EXPECT_THROW(transfer_seconds(1000.0, inf), CheckError);
+}
+
+/// Empirical Pearson correlation of (log down, log up) over n samples.
+double log_corrcoef(const BandwidthSampler& s, int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x, y;
+  x.reserve(static_cast<size_t>(n));
+  y.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const LinkSpec l = s.sample(rng);
+    x.push_back(std::log(l.down_mbps));
+    y.push_back(std::log(l.up_mbps));
+  }
+  const double mx = mean(x), my = mean(y);
+  double num = 0.0, dx = 0.0, dy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    num += (x[i] - mx) * (y[i] - my);
+    dx += (x[i] - mx) * (x[i] - mx);
+    dy += (y[i] - my) * (y[i] - my);
+  }
+  return num / std::sqrt(dx * dy);
+}
+
+TEST(Bandwidth, EmpiricalCorrelationMatchesConfigured) {
+  // Regression for the corr^2 mixing bug: zd/zu previously used
+  // corr * shared + sqrt(1 - corr^2) * own, so the configured correlation
+  // rho came out as rho^2 (0.6 -> 0.36). With sqrt(rho) mixing the
+  // empirical log-log correlation must sit within +-0.05 of rho. Wide clip
+  // bounds keep the clamp from distorting the estimate.
+  LogNormalSpec spec{std::log(50.0), 1.0, 1e-6, 1e12};
+  auto empirical = [&spec](double rho, uint64_t seed) {
+    return log_corrcoef(BandwidthSampler(spec, spec, rho), 10000, seed);
+  };
+  EXPECT_NEAR(empirical(0.6, 21), 0.6, 0.05);  // old mixing gave ~0.36
+  EXPECT_NEAR(empirical(0.3, 22), 0.3, 0.05);
+  EXPECT_NEAR(empirical(0.95, 23), 0.95, 0.05);
+  EXPECT_NEAR(empirical(0.0, 24), 0.0, 0.05);
+  EXPECT_NEAR(empirical(1.0, 25), 1.0, 1e-6);  // degenerate: zd == zu
 }
 
 TEST(Bandwidth, SamplesRespectClipBounds) {
@@ -59,25 +113,8 @@ TEST(Bandwidth, CorrelationCouplesDirections) {
   LogNormalSpec spec{std::log(50.0), 1.0, 0.1, 1e5};
   BandwidthSampler corr(spec, spec, 0.95);
   BandwidthSampler indep(spec, spec, 0.0);
-  auto sample_corrcoef = [](const BandwidthSampler& s, uint64_t seed) {
-    Rng rng(seed);
-    std::vector<double> x, y;
-    for (int i = 0; i < 5000; ++i) {
-      const LinkSpec l = s.sample(rng);
-      x.push_back(std::log(l.down_mbps));
-      y.push_back(std::log(l.up_mbps));
-    }
-    const double mx = mean(x), my = mean(y);
-    double num = 0.0, dx = 0.0, dy = 0.0;
-    for (size_t i = 0; i < x.size(); ++i) {
-      num += (x[i] - mx) * (y[i] - my);
-      dx += (x[i] - mx) * (x[i] - mx);
-      dy += (y[i] - my) * (y[i] - my);
-    }
-    return num / std::sqrt(dx * dy);
-  };
-  EXPECT_GT(sample_corrcoef(corr, 4), 0.8);
-  EXPECT_LT(std::fabs(sample_corrcoef(indep, 5)), 0.1);
+  EXPECT_GT(log_corrcoef(corr, 5000, 4), 0.8);
+  EXPECT_LT(std::fabs(log_corrcoef(indep, 5000, 5)), 0.1);
 }
 
 TEST(Environment, PresetsAreOrdered) {

@@ -2,9 +2,13 @@
 // keep engine-level tests fast on small machines.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <utility>
+#include <vector>
 
+#include "common/rng.h"
 #include "data/federated_dataset.h"
 #include "fl/engine.h"
 #include "fl/sim_config.h"
@@ -65,6 +69,29 @@ inline RunConfig tiny_run_config(int rounds = 20, int k = 6,
   r.seed = seed;
   r.num_threads = 1;
   return r;
+}
+
+/// Random ascending support of exactly min(k, dim) coordinates
+/// (selection sampling), shared by the wire tests and the fuzz smoke.
+inline std::vector<uint32_t> random_support(size_t dim, size_t k, Rng& rng) {
+  std::vector<uint32_t> idx;
+  size_t need = std::min(k, dim);
+  idx.reserve(need);
+  for (size_t j = 0; j < dim && need > 0; ++j) {
+    const double p = static_cast<double>(need) / static_cast<double>(dim - j);
+    if (rng.uniform() < p) {
+      idx.push_back(static_cast<uint32_t>(j));
+      --need;
+    }
+  }
+  return idx;
+}
+
+inline std::vector<float> random_vals(size_t n, Rng& rng, double lo = -2.0,
+                                      double hi = 2.0) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(lo, hi));
+  return v;
 }
 
 }  // namespace gluefl::testing
