@@ -1,20 +1,23 @@
 #!/usr/bin/env sh
 # Runs the perf-trajectory benches (async throughput + aggregation scale +
-# wire codec) and merges their JSON summaries into one trajectory file.
+# wire codec + checkpoint) and merges their JSON summaries into one
+# trajectory file.
 #
 #   sh bench/trajectory.sh [OUT_JSON] [BUILD_DIR]
 #
-# Defaults: OUT_JSON=BENCH_4.json, BUILD_DIR=build. Honors the benches'
+# Defaults: OUT_JSON=BENCH_5.json, BUILD_DIR=build. Honors the benches'
 # environment knobs (GLUEFL_ROUNDS, GLUEFL_FULL, GLUEFL_AGG_*,
-# GLUEFL_WIRE_DIM); CI passes GLUEFL_ROUNDS=1 for a fast smoke, the
-# committed repo-root BENCH_4.json is produced with the defaults (the wire
-# bench's default dimension is already OpenImage scale, 5e6 params).
+# GLUEFL_WIRE_DIM, GLUEFL_CKPT_SCALE_PCT); CI passes GLUEFL_ROUNDS=1 for a
+# fast smoke, the committed repo-root BENCH_5.json is produced with the
+# defaults (the wire bench's default dimension and the checkpoint bench's
+# default population are already OpenImage scale).
 set -eu
 
-out=${1:-BENCH_4.json}
+out=${1:-BENCH_5.json}
 bindir=${2:-build}
 
-for bin in bench_async_throughput bench_agg_scale bench_wire_codec; do
+for bin in bench_async_throughput bench_agg_scale bench_wire_codec \
+    bench_ckpt; do
   if [ ! -x "$bindir/$bin" ]; then
     echo "error: $bindir/$bin not built (cmake --build $bindir --target $bin)" >&2
     exit 1
@@ -24,13 +27,16 @@ done
 tmp_async=$(mktemp)
 tmp_agg=$(mktemp)
 tmp_wire=$(mktemp)
-trap 'rm -f "$tmp_async" "$tmp_agg" "$tmp_wire"' EXIT
+tmp_ckpt=$(mktemp)
+trap 'rm -f "$tmp_async" "$tmp_agg" "$tmp_wire" "$tmp_ckpt"' EXIT
 
 GLUEFL_BENCH_JSON="$tmp_async" "$bindir/bench_async_throughput" >/dev/null
 GLUEFL_BENCH_JSON="$tmp_agg" "$bindir/bench_agg_scale" >/dev/null
 GLUEFL_BENCH_JSON="$tmp_wire" "$bindir/bench_wire_codec" >/dev/null
+GLUEFL_BENCH_JSON="$tmp_ckpt" "$bindir/bench_ckpt" >/dev/null
 
 # The bench summaries are single-line JSON objects; compose without jq.
-printf '{"schema": "gluefl.trajectory.v1", "async": %s, "agg_scale": %s, "wire_codec": %s}\n' \
-  "$(cat "$tmp_async")" "$(cat "$tmp_agg")" "$(cat "$tmp_wire")" > "$out"
+printf '{"schema": "gluefl.trajectory.v1", "async": %s, "agg_scale": %s, "wire_codec": %s, "ckpt": %s}\n' \
+  "$(cat "$tmp_async")" "$(cat "$tmp_agg")" "$(cat "$tmp_wire")" \
+  "$(cat "$tmp_ckpt")" > "$out"
 echo "trajectory written to $out"

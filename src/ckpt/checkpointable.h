@@ -1,0 +1,37 @@
+// Checkpointable: the contract a component implements to ride in a
+// snapshot (DESIGN.md §8).
+//
+// save_state serializes everything the component carries ACROSS round
+// boundaries; restore_state reads exactly the same bytes back into a
+// freshly-initialized instance. The pairing invariant — for any reachable
+// state s, restore(save(s)) followed by N rounds must be bit-identical to
+// just running N more rounds from s — is what makes `gluefl resume`
+// deterministic, and is enforced by tests/test_ckpt.cpp for every
+// strategy.
+//
+// Both Strategy and AsyncStrategy inherit this with no-op defaults, so a
+// stateless strategy (FedAvg, async-fedbuff) participates for free and a
+// user-defined strategy outside this tree keeps compiling; the in-tree
+// strategies override both methods explicitly.
+#pragma once
+
+namespace gluefl::ckpt {
+
+class Writer;
+class Reader;
+
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+
+  /// Serializes all cross-round state into `w`. Must write the same byte
+  /// sequence restore_state consumes.
+  virtual void save_state(Writer& w) const { (void)w; }
+
+  /// Restores state saved by save_state. Called on a freshly init()-ed
+  /// instance built from the same configuration; must consume the section
+  /// exactly and throw CkptError (or CheckError) on malformed input.
+  virtual void restore_state(Reader& r) { (void)r; }
+};
+
+}  // namespace gluefl::ckpt

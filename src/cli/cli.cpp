@@ -14,7 +14,9 @@
 #include <utility>
 
 #include "analysis/report.h"
+#include "ckpt/checkpoint.h"
 #include "common/check.h"
+#include "common/provenance.h"
 #include "common/table.h"
 #include "data/presets.h"
 #include "fl/engine.h"
@@ -40,6 +42,11 @@ commands:
   list    enumerate strategies, dataset presets, network envs and models
   run     train one strategy on one workload, print report + JSON summary
   sweep   grid-search GlueFL's q / q_shr / sticky parameters
+  resume  continue an interrupted run from a checkpoint:
+            gluefl resume CKPT [--threads N] [--json FILE]
+                   [--checkpoint-every N --checkpoint-dir D]
+                   [--crash-at-round K]
+          the final report/JSON is byte-identical to the uninterrupted run
   help    show this message
 
 run flags:
@@ -64,6 +71,12 @@ run flags:
                      payloads, price measured bytes) | analytic
                      (pre-wire size formulas, for A/B)           [encoded]
   --json FILE        also write the JSON summary to FILE
+  --checkpoint-every N  save a resumable snapshot every N rounds
+                        (requires --checkpoint-dir)
+  --checkpoint-dir D    existing, writable directory for snapshots
+  --crash-at-round K    fault injection: simulate a server crash once K
+                        rounds have completed (exit code 3); resume from
+                        the newest snapshot with `gluefl resume`
 
 async run flags (require --exec=async):
   --async-buffer N     updates buffered per aggregation (K)      [preset K]
@@ -187,6 +200,14 @@ class Flags {
   const std::map<std::string, std::string>& flags_;
   std::set<std::string> used_;
 };
+
+/// Only `resume` consumes positionals; everywhere else they are mistakes.
+void reject_positionals(const ParsedArgs& args) {
+  if (!args.positionals.empty()) {
+    throw UsageError("unexpected positional argument '" +
+                     args.positionals.front() + "'");
+  }
+}
 
 void require_name(const std::string& kind, const std::string& name,
                   const std::vector<std::string>& known) {
@@ -367,6 +388,164 @@ SimEngine make_cli_engine(const RunOptions& opt, const SyntheticSpec& spec,
                    make_env(opt.env), train, run);
 }
 
+// ---- checkpoint / provenance plumbing ----
+
+/// Resolves and validates the run/resume checkpoint flags. All failure
+/// modes surface before the first (possibly expensive) round executes: a
+/// missing or read-only directory must not cost a lost snapshot hundreds
+/// of rounds into a campaign.
+void resolve_checkpoint_flags(Flags& flags, RunOptions& opt) {
+  opt.checkpoint_every =
+      static_cast<int>(flags.integer("checkpoint-every", 0, 1, 1000000));
+  opt.checkpoint_dir = flags.str("checkpoint-dir", "");
+  opt.crash_at_round = static_cast<int>(
+      flags.integer("crash-at-round", 0, 1, opt.rounds));
+  if (opt.checkpoint_every > 0 && opt.checkpoint_dir.empty()) {
+    throw UsageError("--checkpoint-every requires --checkpoint-dir");
+  }
+  if (!opt.checkpoint_dir.empty() && opt.checkpoint_every == 0) {
+    throw UsageError("--checkpoint-dir requires --checkpoint-every");
+  }
+  if (!opt.checkpoint_dir.empty()) {
+    const std::string probe = opt.checkpoint_dir + "/.gluefl-ckpt-probe";
+    std::ofstream f(probe);
+    const bool ok = f.good();
+    f.close();
+    std::remove(probe.c_str());
+    if (!ok) {
+      throw UsageError("--checkpoint-dir '" + opt.checkpoint_dir +
+                       "' is missing or not writable");
+    }
+  }
+}
+
+/// Round-trip-exact double formatting for checkpoint meta: precision 17
+/// guarantees parse(format(x)) == x, which keeps a resumed run's echoed
+/// JSON byte-identical to the original run's.
+std::string meta_double_str(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+/// Everything `gluefl resume` needs to reconstruct the engine + strategy,
+/// plus the provenance of the binary that wrote the snapshot.
+std::map<std::string, std::string> ckpt_meta(const RunOptions& opt,
+                                             const std::string& strategy,
+                                             const AsyncOptions* aopt) {
+  std::map<std::string, std::string> m;
+  m["strategy"] = strategy;
+  m["exec"] = opt.exec;
+  m["dataset"] = opt.dataset;
+  m["model"] = opt.model;
+  m["env"] = opt.env;
+  m["rounds"] = std::to_string(opt.rounds);
+  m["scale"] = meta_double_str(opt.scale);
+  m["overcommit"] = meta_double_str(opt.overcommit);
+  m["eval_every"] = std::to_string(opt.eval_every);
+  m["seed"] = std::to_string(opt.seed);
+  m["threads"] = std::to_string(opt.threads);
+  m["agg"] = opt.agg;
+  m["agg_shards"] = std::to_string(opt.agg_shards);
+  m["topology"] = opt.topology;
+  m["wire"] = opt.wire;
+  if (aopt != nullptr) {
+    m["async_buffer"] = std::to_string(aopt->engine.buffer_size);
+    m["async_conc"] = std::to_string(aopt->engine.concurrency);
+    m["staleness"] = aopt->staleness;
+    m["staleness_alpha"] = meta_double_str(aopt->fedbuff.alpha);
+    m["server_lr"] = meta_double_str(aopt->fedbuff.server_lr);
+    m["max_staleness"] = std::to_string(aopt->fedbuff.max_staleness);
+  }
+  m["git_hash"] = build_git_hash();
+  m["build_type"] = build_type();
+  return m;
+}
+
+/// One hook-construction point for all four run/resume x sync/async
+/// sites. Returns null when neither checkpointing nor crash injection is
+/// requested; `resumed_from` (resume only) seeds the crash report's
+/// "newest checkpoint" with the source snapshot.
+std::unique_ptr<ckpt::CheckpointHook> make_ckpt_hook(
+    const ckpt::CkptOptions& copts, const RunOptions& opt,
+    const std::string& strategy_name, const AsyncOptions* aopt,
+    const ckpt::Checkpointable& strategy,
+    const std::string& resumed_from = "") {
+  if (copts.every <= 0 && copts.crash_at <= 0) return nullptr;
+  auto hook = std::make_unique<ckpt::CheckpointHook>(
+      copts, ckpt_meta(opt, strategy_name, aopt), strategy_name, strategy);
+  if (!resumed_from.empty()) hook->set_last_checkpoint(resumed_from);
+  return hook;
+}
+
+const std::string& meta_get(const ckpt::Snapshot& snap,
+                            const std::string& key) {
+  const auto it = snap.meta.find(key);
+  if (it == snap.meta.end()) {
+    throw ckpt::CkptError("checkpoint is missing meta key '" + key + "'");
+  }
+  return it->second;
+}
+
+long meta_long(const ckpt::Snapshot& snap, const std::string& key) {
+  const std::string& s = meta_get(snap, key);
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || errno != 0) {
+    throw ckpt::CkptError("checkpoint meta key '" + key +
+                          "' is not an integer: '" + s + "'");
+  }
+  return v;
+}
+
+double meta_double(const ckpt::Snapshot& snap, const std::string& key) {
+  const std::string& s = meta_get(snap, key);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0' || errno != 0 || !std::isfinite(v)) {
+    throw ckpt::CkptError("checkpoint meta key '" + key +
+                          "' is not a number: '" + s + "'");
+  }
+  return v;
+}
+
+/// Range-checked meta reads: a tampered-but-CRC-resealed checkpoint must
+/// fail as a clean CkptError, never reach the engine as a nonsense value
+/// (eval_every=0 would divide by zero in the round loop).
+long meta_long_range(const ckpt::Snapshot& snap, const std::string& key,
+                     long lo, long hi) {
+  const long v = meta_long(snap, key);
+  if (v < lo || v > hi) {
+    throw ckpt::CkptError("checkpoint meta key '" + key +
+                          "' is out of range: " + std::to_string(v));
+  }
+  return v;
+}
+
+/// Rejects a meta value that violates the SAME acceptance condition the
+/// run command's flag validation applies — a checkpoint any legal run
+/// could write must never be unresumable, and anything tighter or looser
+/// here would break that symmetry.
+[[noreturn]] void meta_range_fail(const ckpt::Snapshot& snap,
+                                  const std::string& key,
+                                  const char* constraint) {
+  throw ckpt::CkptError("checkpoint meta key '" + key + "' violates " +
+                        constraint + ": '" + meta_get(snap, key) + "'");
+}
+
+/// Registry-name meta check: unknown values must fail as CkptError (the
+/// bad-checkpoint exit path), not fall through to a silent default.
+void require_meta_name(const ckpt::Snapshot& snap, const std::string& key,
+                       const std::vector<std::string>& known) {
+  const std::string& name = meta_get(snap, key);
+  if (std::find(known.begin(), known.end(), name) != known.end()) return;
+  throw ckpt::CkptError("checkpoint meta key '" + key + "' names '" + name +
+                        "', which this binary does not know");
+}
+
 // ---- JSON emission (hand-rolled; no external deps available) ----
 
 std::string json_escape(const std::string& s) {
@@ -400,6 +579,14 @@ std::string jnum(double v) {
 }
 
 std::string jstr(const std::string& s) { return "\"" + json_escape(s) + "\""; }
+
+/// Build provenance block: identifies the binary that produced a summary
+/// (resumed runs embed the CURRENT binary's provenance, so same-binary
+/// resume output stays byte-identical to the uninterrupted run's).
+std::string provenance_json() {
+  return "{\"git_hash\": " + jstr(build_git_hash()) +
+         ", \"build_type\": " + jstr(build_type()) + "}";
+}
 
 std::string totals_json(const RunTotals& t) {
   std::ostringstream os;
@@ -462,7 +649,8 @@ std::string run_json(const RunOptions& opt, const std::string& strategy,
      << ", \"seed\": " << opt.seed << ", \"agg\": " << jstr(opt.agg)
      << ", \"agg_shards\": " << opt.agg_shards
      << ", \"topology\": " << jstr(opt.topology)
-     << ", \"wire\": " << jstr(opt.wire);
+     << ", \"wire\": " << jstr(opt.wire)
+     << ", \"provenance\": " << provenance_json();
   if (!async_block.empty()) os << ", \"async\": " << async_block;
   os << ", \"best_accuracy\": " << jnum(res.best_accuracy())
      << ", \"totals\": " << totals_json(totals)
@@ -477,6 +665,60 @@ void emit_json(const std::string& json, const std::string& path,
   std::ofstream f(path);
   if (!f) throw UsageError("cannot open --json file '" + path + "' for writing");
   f << json << "\n";
+}
+
+/// Shared tail of `run` and `resume`: the per-eval report table, the
+/// totals line and the JSON summary. Byte-identical output between the
+/// two commands is the resume correctness contract, so both MUST go
+/// through here.
+void emit_run_report(const RunOptions& opt, const std::string& strategy_name,
+                     const SyntheticSpec& spec, int k, const RunResult& res,
+                     const AsyncOptions* aopt, std::ostream& out) {
+  const bool async = aopt != nullptr;
+  TablePrinter t;
+  if (async) {
+    t.set_headers({"round", "acc", "cum down", "cum up", "cum wall",
+                   "staleness"});
+  } else {
+    t.set_headers({"round", "acc", "cum down", "cum up", "cum wall"});
+  }
+  double cum_down = 0.0, cum_up = 0.0, cum_wall = 0.0;
+  for (const auto& r : res.rounds) {
+    cum_down += r.down_bytes;
+    cum_up += r.up_bytes;
+    cum_wall += r.wall_time_s;
+    if (std::isnan(r.test_acc)) continue;
+    std::vector<std::string> row{std::to_string(r.round),
+                                 fmt_percent(r.test_acc), fmt_bytes(cum_down),
+                                 fmt_bytes(cum_up), fmt_seconds(cum_wall)};
+    if (async) row.push_back(fmt_double(r.mean_staleness, 2));
+    t.add_row(row);
+  }
+  out << t.to_string();
+
+  const RunTotals totals = res.totals();
+  out << "\ntotals: DV=" << fmt_double(totals.down_gb, 3)
+      << " GB  TV=" << fmt_double(totals.total_gb, 3)
+      << " GB  DT=" << fmt_double(totals.download_hours, 2)
+      << " h  TT=" << fmt_double(totals.wall_hours, 2)
+      << " h  best-acc=" << fmt_percent(res.best_accuracy()) << "\n";
+
+  emit_json(run_json(opt, strategy_name, spec, k, res,
+                     async ? async_json(*aopt) : ""),
+            opt.json_path, out);
+}
+
+/// The crash-injection exit path shared by run/resume (exit code 3).
+int report_simulated_crash(const ckpt::SimulatedCrash& crash,
+                           std::ostream& out) {
+  out << "\nsimulated crash after round boundary " << crash.boundary()
+      << "\n";
+  if (crash.last_checkpoint().empty()) {
+    out << "no checkpoint was written before the crash\n";
+  } else {
+    out << "resume with: gluefl resume " << crash.last_checkpoint() << "\n";
+  }
+  return 3;
 }
 
 }  // namespace
@@ -518,8 +760,8 @@ ParsedArgs parse_args(const std::vector<std::string>& args) {
   for (size_t i = 1; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a.rfind("--", 0) != 0) {
-      p.error = "unexpected positional argument '" + a + "'";
-      return p;
+      p.positionals.push_back(a);
+      continue;
     }
     std::string key = a.substr(2);
     std::string value;
@@ -548,6 +790,7 @@ ParsedArgs parse_args(const std::vector<std::string>& args) {
 
 int cmd_list(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   (void)err;
+  reject_positionals(args);
   Flags flags(args.flags);
   flags.reject_unknown();
 
@@ -602,8 +845,10 @@ int cmd_list(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 
 int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   (void)err;
+  reject_positionals(args);
   Flags flags(args.flags);
   RunOptions opt = resolve_common(flags);
+  resolve_checkpoint_flags(flags, opt);
   const bool async = opt.exec == "async";
   const std::string strategy_name =
       flags.str("strategy", async ? "async-fedbuff" : "gluefl");
@@ -618,6 +863,9 @@ int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (async) aopt = resolve_async(flags, k, spec.num_clients);
   flags.reject_unknown();
   SimEngine engine = make_cli_engine(opt, spec, k, topk);
+
+  const ckpt::CkptOptions copts{opt.checkpoint_every, opt.checkpoint_dir,
+                                opt.crash_at_round};
 
   out << "run: " << strategy_name << " on " << opt.dataset << " x " << opt.model
       << " over " << opt.env << " (N=" << spec.num_clients << ", K=" << k;
@@ -642,47 +890,168 @@ int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   out << "\n";
 
   RunResult res;
+  try {
+    if (async) {
+      AsyncSimEngine async_engine(engine, aopt.engine);
+      auto strategy = make_async_strategy(strategy_name, aopt.fedbuff);
+      const auto hook =
+          make_ckpt_hook(copts, opt, strategy_name, &aopt, *strategy);
+      res = async_engine.run(*strategy, hook.get());
+    } else {
+      auto strategy =
+          make_strategy_for(strategy_name, k, opt.model, spec.num_clients);
+      const auto hook =
+          make_ckpt_hook(copts, opt, strategy_name, nullptr, *strategy);
+      res = engine.run(*strategy, hook.get());
+    }
+  } catch (const ckpt::SimulatedCrash& crash) {
+    return report_simulated_crash(crash, out);
+  }
+
+  emit_run_report(opt, strategy_name, spec, k, res, async ? &aopt : nullptr,
+                  out);
+  return 0;
+}
+
+int cmd_resume(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  Flags flags(args.flags);
+  if (args.positionals.size() != 1) {
+    throw UsageError(
+        "resume expects exactly one checkpoint path: gluefl resume CKPT");
+  }
+  const std::string path = args.positionals.front();
+  const long threads_override = flags.integer("threads", -1, 0, 1024);
+  const std::string json_path = flags.str("json", "");
+
+  const ckpt::Snapshot snap = ckpt::load_checkpoint(path);
+
+  // Reconstruct the resolved options of the original run from the
+  // checkpoint meta; the echoed JSON must come out byte-identical.
+  RunOptions opt;
+  opt.dataset = meta_get(snap, "dataset");
+  opt.model = meta_get(snap, "model");
+  opt.env = meta_get(snap, "env");
+  opt.exec = meta_get(snap, "exec");
+  opt.rounds = static_cast<int>(meta_long_range(snap, "rounds", 1, 1000000));
+  opt.scale = meta_double(snap, "scale");
+  if (opt.scale <= 0.0 || opt.scale > 1.0) {
+    meta_range_fail(snap, "scale", "scale in (0, 1]");
+  }
+  opt.overcommit = meta_double(snap, "overcommit");
+  if (opt.overcommit < 1.0) {
+    meta_range_fail(snap, "overcommit", "overcommit >= 1");
+  }
+  opt.eval_every =
+      static_cast<int>(meta_long_range(snap, "eval_every", 1, 1000000));
+  opt.seed = static_cast<uint64_t>(meta_long_range(
+      snap, "seed", 0, std::numeric_limits<long>::max()));
+  opt.threads = threads_override >= 0
+                    ? static_cast<int>(threads_override)
+                    : static_cast<int>(
+                          meta_long_range(snap, "threads", 0, 1024));
+  opt.agg = meta_get(snap, "agg");
+  require_meta_name(snap, "agg", {"dense", "sharded"});
+  opt.agg_shards =
+      static_cast<int>(meta_long_range(snap, "agg_shards", 0, 65536));
+  opt.topology = meta_get(snap, "topology");
+  try {
+    opt.num_edges = parse_topology(opt.topology);
+  } catch (const UsageError&) {
+    meta_range_fail(snap, "topology", "'flat' or 'hier:<E>'");
+  }
+  opt.wire = meta_get(snap, "wire");
+  require_meta_name(snap, "wire", {"encoded", "analytic"});
+  opt.json_path = json_path;
+  resolve_checkpoint_flags(flags, opt);
+  flags.reject_unknown();
+  // A crash boundary the resumed run will never reach is a silent no-op
+  // the user almost certainly did not intend.
+  if (opt.crash_at_round > 0 && opt.crash_at_round <= snap.next_round) {
+    throw UsageError("--crash-at-round " + std::to_string(opt.crash_at_round) +
+                     " is at or before the checkpoint boundary " +
+                     std::to_string(snap.next_round) +
+                     "; the resumed run only executes later rounds");
+  }
+
+  // Binary mismatch is survivable (the format is versioned) but breaks
+  // the bit-identity guarantee: floating-point round-off may differ
+  // between builds. Warn rather than refuse.
+  const std::string& ck_hash = meta_get(snap, "git_hash");
+  const std::string& ck_build = meta_get(snap, "build_type");
+  if (ck_hash != build_git_hash() || ck_build != build_type()) {
+    err << "warning: checkpoint was written by build " << ck_hash << " ("
+        << ck_build << "); this binary is " << build_git_hash() << " ("
+        << build_type() << ") — resumed results may not be bit-identical\n";
+  }
+
+  const bool async = opt.exec == "async";
+  const std::string strategy_name = meta_get(snap, "strategy");
+  // The CRC already guards integrity; these reject checkpoints written by
+  // a future binary whose registries this one does not know.
+  require_meta_name(snap, "dataset", dataset_names());
+  require_meta_name(snap, "model", model_names());
+  require_meta_name(snap, "env", env_names());
+  require_meta_name(snap, "exec", {"sync", "async"});
+  require_meta_name(snap, "strategy",
+                    async ? async_strategy_names() : strategy_names());
+  const SyntheticSpec spec = make_spec(opt.dataset, opt.scale);
+  const int k = preset_clients_per_round(spec);
+  const int topk = preset_topk(spec);
+  AsyncOptions aopt;
   if (async) {
-    AsyncSimEngine async_engine(engine, aopt.engine);
-    auto strategy = make_async_strategy(strategy_name, aopt.fedbuff);
-    res = async_engine.run(*strategy);
-  } else {
-    auto strategy =
-        make_strategy_for(strategy_name, k, opt.model, spec.num_clients);
-    res = engine.run(*strategy);
+    aopt.engine.buffer_size =
+        static_cast<int>(meta_long_range(snap, "async_buffer", 1, 100000));
+    aopt.engine.concurrency =
+        static_cast<int>(meta_long_range(snap, "async_conc", 1, 1000000));
+    aopt.staleness = meta_get(snap, "staleness");
+    require_meta_name(snap, "staleness", {"const", "poly"});
+    aopt.fedbuff.discount = aopt.staleness == "const"
+                                ? StalenessDiscount::kConstant
+                                : StalenessDiscount::kPolynomial;
+    aopt.fedbuff.alpha = meta_double(snap, "staleness_alpha");
+    if (aopt.fedbuff.alpha < 0.0) {
+      meta_range_fail(snap, "staleness_alpha", "alpha >= 0");
+    }
+    aopt.fedbuff.server_lr = meta_double(snap, "server_lr");
+    if (aopt.fedbuff.server_lr <= 0.0) {
+      meta_range_fail(snap, "server_lr", "server_lr > 0");
+    }
+    aopt.fedbuff.max_staleness =
+        static_cast<int>(meta_long_range(snap, "max_staleness", 0, 1000000));
+  }
+  SimEngine engine = make_cli_engine(opt, spec, k, topk);
+
+  out << "resume: " << strategy_name << " on " << opt.dataset << " x "
+      << opt.model << " from round " << snap.next_round << "/" << opt.rounds
+      << " (" << path << ")\n\n";
+
+  const ckpt::CkptOptions copts{opt.checkpoint_every, opt.checkpoint_dir,
+                                opt.crash_at_round};
+  RunResult res;
+  try {
+    if (async) {
+      AsyncSimEngine async_engine(engine, aopt.engine);
+      auto strategy = make_async_strategy(strategy_name, aopt.fedbuff);
+      const auto hook =
+          make_ckpt_hook(copts, opt, strategy_name, &aopt, *strategy, path);
+      AsyncRunState state = ckpt::restore_async_run(snap, engine, *strategy);
+      res = async_engine.resume(*strategy, std::move(state),
+                                ckpt::history_result(snap), hook.get());
+    } else {
+      auto strategy =
+          make_strategy_for(strategy_name, k, opt.model, spec.num_clients);
+      const auto hook = make_ckpt_hook(copts, opt, strategy_name, nullptr,
+                                       *strategy, path);
+      ckpt::restore_sync_run(snap, engine, *strategy);
+      res = engine.run_from(*strategy, snap.next_round,
+                            ckpt::history_result(snap), hook.get());
+    }
+  } catch (const ckpt::SimulatedCrash& crash) {
+    return report_simulated_crash(crash, out);
   }
 
-  TablePrinter t;
-  if (async) {
-    t.set_headers({"round", "acc", "cum down", "cum up", "cum wall",
-                   "staleness"});
-  } else {
-    t.set_headers({"round", "acc", "cum down", "cum up", "cum wall"});
-  }
-  double cum_down = 0.0, cum_up = 0.0, cum_wall = 0.0;
-  for (const auto& r : res.rounds) {
-    cum_down += r.down_bytes;
-    cum_up += r.up_bytes;
-    cum_wall += r.wall_time_s;
-    if (std::isnan(r.test_acc)) continue;
-    std::vector<std::string> row{std::to_string(r.round),
-                                 fmt_percent(r.test_acc), fmt_bytes(cum_down),
-                                 fmt_bytes(cum_up), fmt_seconds(cum_wall)};
-    if (async) row.push_back(fmt_double(r.mean_staleness, 2));
-    t.add_row(row);
-  }
-  out << t.to_string();
-
-  const RunTotals totals = res.totals();
-  out << "\ntotals: DV=" << fmt_double(totals.down_gb, 3)
-      << " GB  TV=" << fmt_double(totals.total_gb, 3)
-      << " GB  DT=" << fmt_double(totals.download_hours, 2)
-      << " h  TT=" << fmt_double(totals.wall_hours, 2)
-      << " h  best-acc=" << fmt_percent(res.best_accuracy()) << "\n";
-
-  emit_json(run_json(opt, strategy_name, spec, k, res,
-                     async ? async_json(aopt) : ""),
-            opt.json_path, out);
+  emit_run_report(opt, strategy_name, spec, k, res, async ? &aopt : nullptr,
+                  out);
   return 0;
 }
 
@@ -762,6 +1131,7 @@ int cmd_sweep_async(Flags& flags, const RunOptions& opt, std::ostream& out) {
        << ", \"agg_shards\": " << opt.agg_shards
        << ", \"topology\": " << jstr(opt.topology)
        << ", \"wire\": " << jstr(opt.wire)
+       << ", \"provenance\": " << provenance_json()
        << ", \"rounds\": " << opt.rounds << ", \"concurrency\": " << conc
        << ", \"staleness\": " << jstr(base.staleness)
        << ", \"target_accuracy\": " << jnum(target) << ", \"arms\": [";
@@ -780,6 +1150,7 @@ int cmd_sweep_async(Flags& flags, const RunOptions& opt, std::ostream& out) {
 
 int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   (void)err;
+  reject_positionals(args);
   Flags flags(args.flags);
   RunOptions opt = resolve_common(flags);
   if (opt.exec == "async") return cmd_sweep_async(flags, opt, out);
@@ -869,6 +1240,7 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
        << ", \"agg_shards\": " << opt.agg_shards
        << ", \"topology\": " << jstr(opt.topology)
        << ", \"wire\": " << jstr(opt.wire)
+       << ", \"provenance\": " << provenance_json()
        << ", \"rounds\": " << opt.rounds
        << ", \"target_accuracy\": " << jnum(target) << ", \"arms\": [";
   for (size_t i = 0; i < runs.size(); ++i) {
@@ -895,6 +1267,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (parsed.command == "list") return cmd_list(parsed, out, err);
     if (parsed.command == "run") return cmd_run(parsed, out, err);
     if (parsed.command == "sweep") return cmd_sweep(parsed, out, err);
+    if (parsed.command == "resume") return cmd_resume(parsed, out, err);
     if (parsed.command == "help" || parsed.command == "--help" ||
         parsed.command == "-h") {
       out << kUsage;
@@ -905,6 +1278,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   } catch (const UsageError& e) {
     err << "error: " << e.what() << "\n";
     return 2;
+  } catch (const ckpt::CkptError& e) {
+    // Bad checkpoints (missing, truncated, corrupt, wrong version, wrong
+    // binary shape) fail as ONE clean line — never UB, never a stack dump.
+    err << "error: " << e.what() << "\n";
+    return 1;
   } catch (const CheckError& e) {
     err << "error: " << e.what() << "\n";
     return 1;

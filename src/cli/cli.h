@@ -15,6 +15,12 @@
 //                                grid over GlueFL's q / q_shr / sticky
 //                                parameters; prints a Table-2-style cost
 //                                table at the common target accuracy
+//   gluefl resume CKPT           continue a crashed / interrupted run from
+//                                a checkpoint written by
+//                                `run --checkpoint-every=N
+//                                --checkpoint-dir=D`; the final report and
+//                                JSON summary are byte-identical to the
+//                                uninterrupted run's
 //
 // Everything below is a library (linked into both the `gluefl` binary and
 // tests/test_cli.cpp) so argument parsing and command behaviour are unit
@@ -32,12 +38,14 @@ namespace gluefl::cli {
 struct ParsedArgs {
   std::string command;                        // "list", "run", "sweep", ...
   std::map<std::string, std::string> flags;   // key without the leading "--"
+  std::vector<std::string> positionals;       // non-flag tokens, in order
   std::string error;                          // non-empty = parse failure
 };
 
 /// Parses `args` (argv without the program name). Accepts `--key value` and
-/// `--key=value`. A flag with a missing value or a stray positional token
-/// sets `error`.
+/// `--key=value`. A flag with a missing value sets `error`; positional
+/// tokens are collected for the command to consume (`resume` takes the
+/// checkpoint path this way — every other command rejects them).
 ParsedArgs parse_args(const std::vector<std::string>& args);
 
 /// Options shared by `run` and `sweep`, resolved from flags + defaults.
@@ -58,6 +66,10 @@ struct RunOptions {
   int num_edges = 0;              // parsed from topology; 0 = flat
   std::string wire = "encoded";   // byte accounting: encoded | analytic
   std::string json_path;   // empty = stdout only
+  // Checkpoint / fault-injection knobs (src/ckpt/, DESIGN.md §8).
+  int checkpoint_every = 0;     // save every N rounds; 0 = off
+  std::string checkpoint_dir;   // must exist and be writable
+  int crash_at_round = 0;       // simulate a crash at boundary K; 0 = off
 };
 
 /// Entry point used by main(): dispatches to the subcommand, writing
@@ -70,6 +82,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
 int cmd_list(const ParsedArgs& args, std::ostream& out, std::ostream& err);
 int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err);
 int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err);
+int cmd_resume(const ParsedArgs& args, std::ostream& out, std::ostream& err);
 
 /// Known registry names (kept in sync with strategies/factory and
 /// data/presets; `gluefl list` prints these).

@@ -1,0 +1,20 @@
+// Build provenance baked into the library at configure time.
+//
+// Every CLI JSON summary and every checkpoint header embeds the git hash
+// and build type of the binary that produced it, so `gluefl resume` can
+// detect that a checkpoint came from a different binary and warn — a
+// resumed campaign is only bit-identical when the same build replays it.
+//
+// The strings come from src/common/provenance.cpp.in, configured by CMake
+// ("unknown" when the tree is not a git checkout).
+#pragma once
+
+namespace gluefl {
+
+/// Short git commit hash of the source tree ("unknown" outside git).
+const char* build_git_hash();
+
+/// CMake build type, with "+asan" appended under GLUEFL_SANITIZE.
+const char* build_type();
+
+}  // namespace gluefl

@@ -1,6 +1,7 @@
 #include "common/rng.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/check.h"
 
@@ -143,6 +144,20 @@ std::vector<int> Rng::sample_without_replacement(const std::vector<int>& pool,
   }
   work.resize(static_cast<size_t>(k));
   return work;
+}
+
+Rng::State Rng::state() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  std::memcpy(&st.cached_normal_bits, &cached_normal_, 8);
+  st.has_cached_normal = has_cached_normal_;
+  return st;
+}
+
+void Rng::set_state(const State& st) {
+  for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  std::memcpy(&cached_normal_, &st.cached_normal_bits, 8);
+  has_cached_normal_ = st.has_cached_normal;
 }
 
 Rng Rng::fork(uint64_t stream) const {

@@ -71,6 +71,18 @@ class Rng {
   /// construction, stream). Forking does not advance this generator.
   Rng fork(uint64_t stream) const;
 
+  /// Raw generator state, exposed for the checkpoint subsystem: set_state
+  /// followed by any draw sequence is bit-identical to continuing from the
+  /// generator state() captured. The cached Box-Muller half is part of the
+  /// state (normal() would otherwise desynchronize across a resume).
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    uint64_t cached_normal_bits = 0;
+    bool has_cached_normal = false;
+  };
+  State state() const;
+  void set_state(const State& st);
+
  private:
   uint64_t s_[4];
   bool has_cached_normal_ = false;

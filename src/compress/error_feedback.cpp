@@ -1,5 +1,8 @@
 #include "compress/error_feedback.h"
 
+#include <algorithm>
+
+#include "ckpt/io.h"
 #include "common/check.h"
 #include "tensor/ops.h"
 
@@ -26,6 +29,46 @@ void ErrorFeedback::store(int client, double nu_now, const float* residual) {
   Entry& e = store_[client];
   e.h.assign(residual, residual + dim_);
   e.nu = nu_now;
+}
+
+void ErrorFeedback::save_state(ckpt::Writer& w) const {
+  w.varint(dim_);
+  std::vector<int> clients;
+  clients.reserve(store_.size());
+  for (const auto& [client, entry] : store_) {
+    (void)entry;
+    clients.push_back(client);
+  }
+  std::sort(clients.begin(), clients.end());
+  w.varint(clients.size());
+  for (const int c : clients) {
+    const Entry& e = store_.at(c);
+    w.varint(static_cast<uint64_t>(c));
+    w.f64(e.nu);
+    w.f32s(e.h.data(), e.h.size());
+  }
+}
+
+void ErrorFeedback::restore_state(ckpt::Reader& r) {
+  const uint64_t dim = r.varint();
+  if (dim != dim_) {
+    throw ckpt::CkptError("checkpoint error-feedback dim mismatch (" +
+                          std::to_string(dim) + " vs " + std::to_string(dim_) +
+                          ")");
+  }
+  const uint64_t n = r.varint_max(ckpt::kIntCap, "residual count");
+  store_.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    const int c =
+        static_cast<int>(r.varint_max(ckpt::kIntCap, "client id"));
+    Entry e;
+    e.nu = r.f64();
+    e.h = r.f32s();
+    if (e.h.size() != dim_) {
+      throw ckpt::CkptError("checkpoint residual has the wrong dim");
+    }
+    store_[c] = std::move(e);
+  }
 }
 
 }  // namespace gluefl

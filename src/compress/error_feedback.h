@@ -23,6 +23,11 @@
 
 namespace gluefl {
 
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 class ErrorFeedback {
  public:
   enum class Mode { kNone, kRaw, kRescaled };
@@ -41,6 +46,12 @@ class ErrorFeedback {
 
   bool has(int client) const { return store_.count(client) != 0; }
   size_t num_tracked_clients() const { return store_.size(); }
+
+  /// Checkpoint section: every tracked residual with its stored weight,
+  /// serialized in ascending client order so identical state writes
+  /// identical bytes regardless of hash-map iteration order.
+  void save_state(ckpt::Writer& w) const;
+  void restore_state(ckpt::Reader& r);
 
  private:
   struct Entry {

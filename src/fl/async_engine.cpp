@@ -1,10 +1,11 @@
 #include "fl/async_engine.h"
 
 #include <algorithm>
-#include <queue>
 #include <utility>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
+#include "ckpt/io.h"
 #include "common/check.h"
 #include "compress/encoding.h"
 #include "net/bandwidth.h"
@@ -15,7 +16,130 @@ namespace gluefl {
 namespace {
 // Purposes for the engine's async RNG streams.
 constexpr uint64_t kPurposeSampling = 0x01;
+
+// Heap ordering: std::push_heap/pop_heap with this comparator keep the
+// EARLIEST (finish, seq) event at the front. The comparator ranks "later"
+// events as smaller, matching the old priority_queue behaviour exactly.
+bool later(const AsyncInFlight& a, const AsyncInFlight& b) {
+  if (a.finish != b.finish) return a.finish > b.finish;
+  return a.seq > b.seq;  // deterministic tie-break
+}
+
+void save_local(ckpt::Writer& w, const LocalResult& lr) {
+  w.f32s(lr.delta.data(), lr.delta.size());
+  w.f32s(lr.stat_delta.data(), lr.stat_delta.size());
+  w.f32(lr.loss);
+  w.varint(static_cast<uint64_t>(lr.n_samples));
+}
+
+LocalResult load_local(ckpt::Reader& r, size_t dim, size_t stat_dim) {
+  LocalResult lr;
+  lr.delta = r.f32s();
+  lr.stat_delta = r.f32s();
+  lr.loss = r.f32();
+  lr.n_samples = static_cast<int>(r.varint_max(ckpt::kIntCap, "sample count"));
+  // Encoded-mode dispatches move the payload into the wire frame and leave
+  // the vectors empty; otherwise they are full-size.
+  if ((lr.delta.size() != dim && !lr.delta.empty()) ||
+      (lr.stat_delta.size() != stat_dim && !lr.stat_delta.empty())) {
+    throw ckpt::CkptError("checkpoint in-flight update has the wrong dim");
+  }
+  return lr;
+}
 }  // namespace
+
+void AsyncRunState::save_state(ckpt::Writer& w) const {
+  w.varint(static_cast<uint64_t>(version));
+  w.f64(now);
+  w.f64(last_agg);
+  w.u64(seq);
+  w.varint(static_cast<uint64_t>(free_slots));
+  w.varint(in_flight.size());
+  for (const char f : in_flight) w.u8(static_cast<uint8_t>(f));
+  w.varint(events.size());
+  for (const AsyncInFlight& f : events) {
+    w.f64(f.finish);
+    w.u64(f.seq);
+    w.varint(static_cast<uint64_t>(f.client));
+    w.varint(static_cast<uint64_t>(f.version));
+    w.f64(f.dt);
+    w.f64(f.ct);
+    w.f64(f.ut);
+    w.varint(f.up_b);
+    save_local(w, f.local);
+    w.blob(f.wire);
+  }
+  w.varint(buffer.size());
+  for (const AsyncUpdate& u : buffer) {
+    w.varint(static_cast<uint64_t>(u.client));
+    w.varint(static_cast<uint64_t>(u.version));
+    w.varint(static_cast<uint64_t>(u.staleness));
+    save_local(w, u.result);
+    w.blob(u.wire);
+  }
+  ckpt::write_record(w, rec);
+  const Rng::State rs = pick_rng.state();
+  for (const uint64_t s : rs.s) w.u64(s);
+  w.u64(rs.cached_normal_bits);
+  w.u8(rs.has_cached_normal ? 1 : 0);
+}
+
+void AsyncRunState::restore_state(ckpt::Reader& r, int num_clients,
+                                  size_t dim, size_t stat_dim) {
+  const uint64_t round_cap = ckpt::kIntCap;
+  version = static_cast<int>(r.varint_max(round_cap, "version"));
+  now = r.f64();
+  last_agg = r.f64();
+  seq = r.u64();
+  free_slots = static_cast<int>(r.varint_max(round_cap, "slot count"));
+  const uint64_t nflags = r.varint();
+  if (nflags != static_cast<uint64_t>(num_clients)) {
+    throw ckpt::CkptError("checkpoint async state covers " +
+                          std::to_string(nflags) + " clients, engine has " +
+                          std::to_string(num_clients));
+  }
+  in_flight.assign(static_cast<size_t>(num_clients), 0);
+  for (auto& f : in_flight) f = static_cast<char>(r.u8() != 0 ? 1 : 0);
+  const uint64_t nevents =
+      r.varint_max(static_cast<uint64_t>(num_clients), "event count");
+  events.clear();
+  events.reserve(nevents);
+  for (uint64_t i = 0; i < nevents; ++i) {
+    AsyncInFlight f;
+    f.finish = r.f64();
+    f.seq = r.u64();
+    f.client = static_cast<int>(r.varint_max(
+        static_cast<uint64_t>(num_clients) - 1, "client id"));
+    f.version = static_cast<int>(r.varint_max(round_cap, "version"));
+    f.dt = r.f64();
+    f.ct = r.f64();
+    f.ut = r.f64();
+    f.up_b = static_cast<size_t>(r.varint());
+    f.local = load_local(r, dim, stat_dim);
+    f.wire = r.blob();
+    events.push_back(std::move(f));
+  }
+  const uint64_t nbuf =
+      r.varint_max(static_cast<uint64_t>(num_clients), "buffer size");
+  buffer.clear();
+  buffer.reserve(nbuf);
+  for (uint64_t i = 0; i < nbuf; ++i) {
+    AsyncUpdate u;
+    u.client = static_cast<int>(r.varint_max(
+        static_cast<uint64_t>(num_clients) - 1, "client id"));
+    u.version = static_cast<int>(r.varint_max(round_cap, "version"));
+    u.staleness = static_cast<int>(r.varint_max(round_cap, "staleness"));
+    u.result = load_local(r, dim, stat_dim);
+    u.wire = r.blob();
+    buffer.push_back(std::move(u));
+  }
+  rec = ckpt::read_record(r);
+  Rng::State rs;
+  for (auto& s : rs.s) s = r.u64();
+  rs.cached_normal_bits = r.u64();
+  rs.has_cached_normal = r.u8() != 0;
+  pick_rng.set_state(rs);
+}
 
 AsyncSimEngine::AsyncSimEngine(SimEngine& engine, AsyncConfig cfg)
     : engine_(engine), cfg_(cfg) {
@@ -27,36 +151,63 @@ AsyncSimEngine::AsyncSimEngine(SimEngine& engine, AsyncConfig cfg)
                    "async concurrency exceeds the client population");
 }
 
-RunResult AsyncSimEngine::run(AsyncStrategy& strategy) {
-  SimEngine& eng = engine_;
-  const RunConfig& rc = eng.run_config();
-  eng.reset_state();
-  strategy.init(eng);
+RunResult AsyncSimEngine::run(AsyncStrategy& strategy, RoundHook* hook) {
+  engine_.reset_state();
+  strategy.init(engine_);
+
+  AsyncRunState st;
+  st.in_flight.assign(static_cast<size_t>(engine_.num_clients()), 0);
+  st.buffer.reserve(static_cast<size_t>(cfg_.buffer_size));
+  st.free_slots = cfg_.concurrency;
+  st.pick_rng = engine_.async_rng(kPurposeSampling);
+  st.rec.round = 0;
 
   RunResult result;
   result.strategy = strategy.name();
-  result.rounds.reserve(static_cast<size_t>(rc.rounds));
+  return run_loop(strategy, std::move(st), std::move(result), hook);
+}
 
-  // A dispatched client training (or in transfer) right now. Training runs
-  // eagerly at dispatch — the delta depends only on the model at dispatch
-  // time — while the finish event is scheduled for download + compute +
-  // upload later in simulated time.
-  struct InFlight {
-    double finish = 0.0;
-    uint64_t seq = 0;
-    int client = 0;
-    int version = 0;
-    double dt = 0.0, ct = 0.0, ut = 0.0;
-    size_t up_b = 0;
-    LocalResult local;
-    std::vector<uint8_t> wire;  // encoded payload (--wire=encoded only)
-  };
-  auto later = [](const InFlight& a, const InFlight& b) {
-    if (a.finish != b.finish) return a.finish > b.finish;
-    return a.seq > b.seq;  // deterministic tie-break
-  };
-  std::priority_queue<InFlight, std::vector<InFlight>, decltype(later)> events(
-      later);
+RunResult AsyncSimEngine::resume(AsyncStrategy& strategy, AsyncRunState state,
+                                 RunResult prefix, RoundHook* hook) {
+  const RunConfig& rc = engine_.run_config();
+  if (state.version < 0 || state.version > rc.rounds ||
+      static_cast<int>(prefix.rounds.size()) != state.version) {
+    throw ckpt::CkptError("checkpoint async version does not match the "
+                          "restored history");
+  }
+  if (static_cast<int>(state.in_flight.size()) != engine_.num_clients()) {
+    throw ckpt::CkptError("checkpoint async state does not match the "
+                          "engine population");
+  }
+  size_t dispatched = 0;
+  for (const char f : state.in_flight) dispatched += f != 0 ? 1 : 0;
+  if (dispatched != state.events.size() ||
+      state.free_slots + static_cast<int>(state.events.size()) !=
+          cfg_.concurrency) {
+    throw ckpt::CkptError("checkpoint async slot accounting is inconsistent "
+                          "with the configured concurrency");
+  }
+  // Events must be exactly one per flagged client — a tampered snapshot
+  // with a duplicated event would double-complete one client and starve
+  // the other flagged one forever.
+  std::vector<char> seen(state.in_flight.size(), 0);
+  for (const AsyncInFlight& f : state.events) {
+    const size_t c = static_cast<size_t>(f.client);
+    if (!state.in_flight[c] || seen[c]) {
+      throw ckpt::CkptError("checkpoint async events do not match the "
+                            "in-flight client set");
+    }
+    seen[c] = 1;
+  }
+  prefix.strategy = strategy.name();
+  return run_loop(strategy, std::move(state), std::move(prefix), hook);
+}
+
+RunResult AsyncSimEngine::run_loop(AsyncStrategy& strategy, AsyncRunState st,
+                                   RunResult result, RoundHook* hook) {
+  SimEngine& eng = engine_;
+  const RunConfig& rc = eng.run_config();
+  result.rounds.reserve(static_cast<size_t>(rc.rounds));
 
   const int n = eng.num_clients();
   const double flops = eng.flops_per_client_round();
@@ -70,54 +221,42 @@ RunResult AsyncSimEngine::run(AsyncStrategy& strategy) {
   // per-edge multicast batching — the hierarchy prices the extra hop's
   // latency, and volumes stay per-dispatch.
   const HierarchicalTopology* topo = eng.topology();
-  std::vector<char> in_flight(static_cast<size_t>(n), 0);
-  std::vector<AsyncUpdate> buffer;
-  buffer.reserve(static_cast<size_t>(cfg_.buffer_size));
-  Rng pick_rng = eng.async_rng(kPurposeSampling);
   // Per-version downlink sizing (see fill_slots).
   std::function<size_t(int)> down_fn;
   int down_fn_version = -1;
-
-  uint64_t seq = 0;
-  int version = 0;          // completed aggregations == current model version
-  double now = 0.0;         // simulated seconds
-  double last_agg = 0.0;    // sim time of the previous aggregation
-  int free_slots = cfg_.concurrency;
-  RoundRecord rec;
-  rec.round = 0;
 
   // Dispatches every free slot to an available, not-yet-in-flight client.
   // Invitee downloads are charged immediately (stale diff + BN stats via
   // the SyncTracker), mirroring the synchronous path's accounting.
   auto fill_slots = [&]() {
-    if (free_slots <= 0 || version >= rc.rounds) return;
+    if (st.free_slots <= 0 || st.version >= rc.rounds) return;
     std::vector<int> pool;
     for (int c = 0; c < n; ++c) {
-      if (!in_flight[static_cast<size_t>(c)] &&
-          eng.client_available(c, version)) {
+      if (!st.in_flight[static_cast<size_t>(c)] &&
+          eng.client_available(c, st.version)) {
         pool.push_back(c);
       }
     }
-    const int take = std::min(free_slots, static_cast<int>(pool.size()));
+    const int take = std::min(st.free_slots, static_cast<int>(pool.size()));
     if (take <= 0) return;
     const std::vector<int> picked =
-        pick_rng.sample_without_replacement(pool, take);
-    auto locals = eng.local_train_seq(picked, version, seq);
+        st.pick_rng.sample_without_replacement(pool, take);
+    auto locals = eng.local_train_seq(picked, st.version, st.seq);
     // The sizing function (and its encoded-mode staleness cache) lives for
     // a whole model version: fill_slots usually dispatches one client per
     // event, so a per-call cache would never hit.
-    if (down_fn_version != version) {
-      down_fn = eng.down_bytes_fn(version, down_extra);
-      down_fn_version = version;
+    if (down_fn_version != st.version) {
+      down_fn = eng.down_bytes_fn(st.version, down_extra);
+      down_fn_version = st.version;
     }
     for (size_t i = 0; i < picked.size(); ++i) {
       const int c = picked[i];
       const ClientProfile& p = eng.profiles()[static_cast<size_t>(c)];
       const size_t down_b = down_fn(c);
-      InFlight f;
-      f.seq = seq + i;
+      AsyncInFlight f;
+      f.seq = st.seq + i;
       f.client = c;
-      f.version = version;
+      f.version = st.version;
       f.local = std::move(locals[i]);
       // Training runs eagerly at dispatch, so unlike the synchronous path
       // the async engine can serialize the real payload up front and use
@@ -145,67 +284,86 @@ RunResult AsyncSimEngine::run(AsyncStrategy& strategy) {
         f.ut += topo->uplink_seconds(static_cast<double>(f.up_b) *
                                      eng.wire_scale());
       }
-      f.finish = now + f.dt + f.ct + f.ut;
-      rec.down_bytes += static_cast<double>(down_b) * eng.wire_scale();
-      rec.num_invited += 1;
-      eng.sync().mark_synced(c, version);
-      in_flight[static_cast<size_t>(c)] = 1;
-      events.push(std::move(f));
+      f.finish = st.now + f.dt + f.ct + f.ut;
+      st.rec.down_bytes += static_cast<double>(down_b) * eng.wire_scale();
+      st.rec.num_invited += 1;
+      eng.sync().mark_synced(c, st.version);
+      st.in_flight[static_cast<size_t>(c)] = 1;
+      st.events.push_back(std::move(f));
+      std::push_heap(st.events.begin(), st.events.end(), later);
     }
-    seq += static_cast<uint64_t>(take);
-    free_slots -= take;
+    st.seq += static_cast<uint64_t>(take);
+    st.free_slots -= take;
   };
 
   auto aggregate = [&]() {
     double stale_sum = 0.0;
-    for (auto& u : buffer) {
-      u.staleness = version - u.version;
+    for (auto& u : st.buffer) {
+      u.staleness = st.version - u.version;
       stale_sum += u.staleness;
     }
-    rec.round = version;
-    rec.num_included = static_cast<int>(buffer.size());
-    rec.mean_staleness =
-        buffer.empty() ? 0.0 : stale_sum / static_cast<double>(buffer.size());
-    strategy.aggregate(eng, version, buffer, rec);
-    rec.wall_time_s = now - last_agg;
-    last_agg = now;
-    if (version % rc.eval_every == 0 || version + 1 == rc.rounds) {
-      rec.test_acc = eng.evaluate().accuracy;
+    st.rec.round = st.version;
+    st.rec.num_included = static_cast<int>(st.buffer.size());
+    st.rec.mean_staleness =
+        st.buffer.empty()
+            ? 0.0
+            : stale_sum / static_cast<double>(st.buffer.size());
+    strategy.aggregate(eng, st.version, st.buffer, st.rec);
+    st.rec.wall_time_s = st.now - st.last_agg;
+    st.last_agg = st.now;
+    if (st.version % rc.eval_every == 0 || st.version + 1 == rc.rounds) {
+      st.rec.test_acc = eng.evaluate().accuracy;
     }
-    result.rounds.push_back(rec);
-    rec = RoundRecord{};
-    buffer.clear();
-    ++version;
-    rec.round = version;
+    result.rounds.push_back(st.rec);
+    st.rec = RoundRecord{};
+    st.buffer.clear();
+    ++st.version;
+    st.rec.round = st.version;
   };
 
   fill_slots();
-  while (version < rc.rounds && !events.empty()) {
-    // Move, don't copy: InFlight carries the model-dim delta vectors, and
-    // the element is popped immediately after.
-    InFlight f = std::move(const_cast<InFlight&>(events.top()));
-    events.pop();
-    now = f.finish;
-    in_flight[static_cast<size_t>(f.client)] = 0;
-    ++free_slots;
+  while (st.version < rc.rounds && !st.events.empty()) {
+    // Move, don't copy: AsyncInFlight carries the model-dim delta vectors,
+    // and the element is dropped immediately after.
+    std::pop_heap(st.events.begin(), st.events.end(), later);
+    AsyncInFlight f = std::move(st.events.back());
+    st.events.pop_back();
+    st.now = f.finish;
+    st.in_flight[static_cast<size_t>(f.client)] = 0;
+    ++st.free_slots;
 
     AsyncUpdate u;
     u.client = f.client;
     u.version = f.version;
     u.result = std::move(f.local);
     u.wire = std::move(f.wire);
-    buffer.push_back(std::move(u));
-    rec.up_bytes += static_cast<double>(f.up_b) * eng.wire_scale();
-    rec.down_time_s = std::max(rec.down_time_s, f.dt);
-    rec.up_time_s = std::max(rec.up_time_s, f.ut);
-    rec.compute_time_s = std::max(rec.compute_time_s, f.ct);
+    st.buffer.push_back(std::move(u));
+    st.rec.up_bytes += static_cast<double>(f.up_b) * eng.wire_scale();
+    st.rec.down_time_s = std::max(st.rec.down_time_s, f.dt);
+    st.rec.up_time_s = std::max(st.rec.up_time_s, f.ut);
+    st.rec.compute_time_s = std::max(st.rec.compute_time_s, f.ct);
 
-    if (static_cast<int>(buffer.size()) >= cfg_.buffer_size) aggregate();
+    if (static_cast<int>(st.buffer.size()) >= cfg_.buffer_size) {
+      aggregate();
+      // st.version - 1 just completed; the state is exactly an
+      // aggregation boundary (buffer empty, record pushed) — the only
+      // instant an async snapshot is taken.
+      if (hook != nullptr) {
+        hook->on_round_end(eng, st.version - 1, result, &st);
+      }
+    }
     fill_slots();
   }
   // The pool drained (availability churn) before the planned horizon:
-  // flush whatever is buffered so the partial run still aggregates.
-  if (version < rc.rounds && !buffer.empty()) aggregate();
+  // flush whatever is buffered so the partial run still aggregates. The
+  // flush is a boundary like any other — the hook must see it, or a
+  // checkpoint/crash due exactly there would silently not fire.
+  if (st.version < rc.rounds && !st.buffer.empty()) {
+    aggregate();
+    if (hook != nullptr) {
+      hook->on_round_end(eng, st.version - 1, result, &st);
+    }
+  }
   return result;
 }
 

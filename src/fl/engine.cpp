@@ -474,13 +474,28 @@ EvalResult SimEngine::evaluate() {
       /*batch=*/256, run_cfg_.topk_accuracy);
 }
 
-RunResult SimEngine::run(Strategy& strategy) {
+RunResult SimEngine::run(Strategy& strategy, RoundHook* hook) {
   reset_state();
   strategy.init(*this);
   RunResult result;
   result.strategy = strategy.name();
+  return run_rounds(strategy, 0, std::move(result), hook);
+}
+
+RunResult SimEngine::run_from(Strategy& strategy, int next_round,
+                              RunResult prefix, RoundHook* hook) {
+  GLUEFL_CHECK_MSG(next_round >= 0 && next_round <= run_cfg_.rounds,
+                   "resume round outside the configured horizon");
+  GLUEFL_CHECK_MSG(static_cast<int>(prefix.rounds.size()) == next_round,
+                   "restored history length must equal the resume round");
+  prefix.strategy = strategy.name();
+  return run_rounds(strategy, next_round, std::move(prefix), hook);
+}
+
+RunResult SimEngine::run_rounds(Strategy& strategy, int first_round,
+                                RunResult result, RoundHook* hook) {
   result.rounds.reserve(static_cast<size_t>(run_cfg_.rounds));
-  for (int t = 0; t < run_cfg_.rounds; ++t) {
+  for (int t = first_round; t < run_cfg_.rounds; ++t) {
     RoundRecord rec;
     rec.round = t;
     strategy.run_round(*this, t, rec);
@@ -488,6 +503,9 @@ RunResult SimEngine::run(Strategy& strategy) {
       rec.test_acc = evaluate().accuracy;
     }
     result.rounds.push_back(rec);
+    if (hook != nullptr) {
+      hook->on_round_end(*this, t, result, /*async_state=*/nullptr);
+    }
   }
   return result;
 }

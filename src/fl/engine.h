@@ -26,6 +26,7 @@
 #include "common/rng.h"
 #include "data/federated_dataset.h"
 #include "fl/metrics.h"
+#include "fl/run_hook.h"
 #include "fl/sim_config.h"
 #include "fl/strategy.h"
 #include "fl/sync_tracker.h"
@@ -67,8 +68,17 @@ class SimEngine {
   SimEngine& operator=(SimEngine&&) = delete;
 
   /// Runs a full training: resets global state, executes run_cfg.rounds
-  /// rounds of `strategy`, evaluating every eval_every rounds.
-  RunResult run(Strategy& strategy);
+  /// rounds of `strategy`, evaluating every eval_every rounds. `hook` (may
+  /// be null) observes every round boundary — the checkpoint seam.
+  RunResult run(Strategy& strategy, RoundHook* hook = nullptr);
+
+  /// Continues a restored run: executes rounds [next_round, rounds) of
+  /// `strategy` on the CURRENT engine/strategy state (no reset, no init),
+  /// appending to `prefix` — the restored record history. The caller
+  /// (ckpt::restore_sync_run) must have restored params/stats/sync and the
+  /// strategy state to the boundary `next_round` first.
+  RunResult run_from(Strategy& strategy, int next_round, RunResult prefix,
+                     RoundHook* hook = nullptr);
 
   /// Re-initializes params/stats/sync tracker to the run-start state.
   /// run() calls this; AsyncSimEngine::run() does the same, so one engine
@@ -200,6 +210,8 @@ class SimEngine {
  private:
   struct Worker;  // per-thread training context
 
+  RunResult run_rounds(Strategy& strategy, int first_round, RunResult result,
+                       RoundHook* hook);
   void train_one(Worker& w, int client, double lr, Rng rng, LocalResult& out);
   std::vector<LocalResult> train_batch(
       const std::vector<int>& clients, double lr,

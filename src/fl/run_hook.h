@@ -1,0 +1,31 @@
+// Round-boundary observation hook for both engines.
+//
+// SimEngine::run and AsyncSimEngine::run invoke the hook after every
+// completed round (sync) / buffer aggregation (async), once the round's
+// record has landed in the partial RunResult. This is the seam the
+// checkpoint subsystem (src/ckpt/) plugs into: at that instant the engine
+// + strategy state is exactly a round boundary, so a snapshot taken here
+// resumes bit-identically. Hooks may throw to abort the run — that is how
+// --crash-at-round simulates a server death mid-campaign.
+#pragma once
+
+namespace gluefl {
+
+class SimEngine;
+class RunResult;
+struct AsyncRunState;  // fl/async_engine.h
+
+class RoundHook {
+ public:
+  virtual ~RoundHook() = default;
+
+  /// Called with the number of the round that just completed (0-based) and
+  /// the result accumulated so far (rounds [0, round] present).
+  /// `async_state` is non-null on the async path and points at the live
+  /// event-loop state, valid only for the duration of the call.
+  virtual void on_round_end(SimEngine& engine, int round,
+                            const RunResult& partial,
+                            const AsyncRunState* async_state) = 0;
+};
+
+}  // namespace gluefl

@@ -11,13 +11,20 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpointable.h"
+
 namespace gluefl {
 
 class SimEngine;
 struct RoundRecord;
 struct AsyncUpdate;  // fl/async_engine.h
 
-class Strategy {
+/// Strategies are Checkpointable: save_state/restore_state serialize the
+/// cross-round state (masks, residuals, freeze periods, sampler cohorts)
+/// so `gluefl resume` replays the remaining rounds bit-identically. The
+/// inherited defaults are no-ops, which is correct for stateless
+/// strategies; every in-tree strategy overrides them explicitly.
+class Strategy : public ckpt::Checkpointable {
  public:
   virtual ~Strategy() = default;
 
@@ -36,7 +43,7 @@ class Strategy {
 /// — the AsyncSimEngine drives dispatch, timing and the K-of-N buffer
 /// trigger — it only decides how staleness discounts updates and how a
 /// full buffer is folded into the global model.
-class AsyncStrategy {
+class AsyncStrategy : public ckpt::Checkpointable {
  public:
   virtual ~AsyncStrategy() = default;
 

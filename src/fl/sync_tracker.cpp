@@ -1,6 +1,8 @@
 #include "fl/sync_tracker.h"
 
+#include "ckpt/io.h"
 #include "common/check.h"
+#include "wire/codec.h"
 
 namespace gluefl {
 
@@ -86,6 +88,50 @@ void SyncTracker::mark_synced(int client, int round) {
 
 int SyncTracker::last_synced_round(int client) const {
   return last_sync_[static_cast<size_t>(client)];
+}
+
+void SyncTracker::save_state(ckpt::Writer& w) const {
+  w.varint(last_sync_.size());
+  w.varint(dim_);
+  // last_sync entries live in [-1, next_round); +1 keeps them varintable.
+  for (const int ls : last_sync_) {
+    w.varint(static_cast<uint64_t>(ls + 1));
+  }
+  w.varint(static_cast<uint64_t>(first_round_));
+  w.varint(static_cast<uint64_t>(next_round_));
+  w.varint(changes_.size());
+  for (const BitMask& m : changes_) {
+    w.blob(wire::encode_mask(m));
+  }
+}
+
+void SyncTracker::restore_state(ckpt::Reader& r) {
+  const uint64_t n = r.varint();
+  const uint64_t dim = r.varint();
+  if (n != last_sync_.size() || dim != dim_) {
+    throw ckpt::CkptError(
+        "checkpoint sync-tracker shape mismatch (clients " +
+        std::to_string(n) + "/" + std::to_string(last_sync_.size()) +
+        ", dim " + std::to_string(dim) + "/" + std::to_string(dim_) + ")");
+  }
+  for (auto& ls : last_sync_) {
+    ls = static_cast<int>(r.varint_max(ckpt::kIntCap, "sync round")) - 1;
+  }
+  first_round_ = static_cast<int>(r.varint_max(ckpt::kIntCap, "round"));
+  next_round_ = static_cast<int>(r.varint_max(ckpt::kIntCap, "round"));
+  const uint64_t nmasks = r.varint_max(window_, "mask-window size");
+  if (first_round_ + static_cast<int>(nmasks) != next_round_) {
+    throw ckpt::CkptError("checkpoint sync-tracker window is inconsistent");
+  }
+  changes_.clear();
+  for (uint64_t i = 0; i < nmasks; ++i) {
+    const std::vector<uint8_t> buf = r.blob();
+    BitMask m = wire::decode_mask(buf.data(), buf.size());
+    if (m.size() != dim_) {
+      throw ckpt::CkptError("checkpoint changed-mask has the wrong dim");
+    }
+    changes_.push_back(std::move(m));
+  }
 }
 
 }  // namespace gluefl

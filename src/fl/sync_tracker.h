@@ -20,6 +20,11 @@
 
 namespace gluefl {
 
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 class SyncTracker {
  public:
   /// `window`: how many rounds of changed-bitmaps to retain; clients staler
@@ -62,6 +67,13 @@ class SyncTracker {
   void mark_synced(int client, int round);
 
   int last_synced_round(int client) const;
+
+  /// Checkpoint section: per-client last-sync rounds plus the retained
+  /// changed-bitmap window (masks ride the wire mask codec). restore_state
+  /// requires a tracker constructed with the same num_clients / dim and
+  /// rejects mismatches as CkptError.
+  void save_state(ckpt::Writer& w) const;
+  void restore_state(ckpt::Reader& r);
 
  private:
   size_t dim_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ckpt/io.h"
 #include "common/check.h"
 
 namespace gluefl {
@@ -103,6 +104,30 @@ std::vector<int> StickySampler::sticky_members() const {
   std::vector<int> out(sticky_.begin(), sticky_.end());
   std::sort(out.begin(), out.end());
   return out;
+}
+
+void StickySampler::save_state(ckpt::Writer& w) const {
+  const std::vector<int> members = sticky_members();
+  w.varint(members.size());
+  for (const int c : members) w.varint(static_cast<uint64_t>(c));
+}
+
+void StickySampler::restore_state(ckpt::Reader& r) {
+  const uint64_t n = r.varint();
+  if (n != sticky_.size()) {
+    throw ckpt::CkptError("checkpoint sticky group has size " +
+                          std::to_string(n) + ", sampler expects " +
+                          std::to_string(sticky_.size()));
+  }
+  std::unordered_set<int> members;
+  for (uint64_t i = 0; i < n; ++i) {
+    const int c = static_cast<int>(r.varint_max(
+        static_cast<uint64_t>(num_clients_) - 1, "sticky client id"));
+    if (!members.insert(c).second) {
+      throw ckpt::CkptError("checkpoint sticky group repeats a client");
+    }
+  }
+  sticky_ = std::move(members);
 }
 
 }  // namespace gluefl

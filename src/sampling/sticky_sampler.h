@@ -16,6 +16,11 @@
 
 namespace gluefl {
 
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 struct StickyConfig {
   int group_size = 0;       // S
   int sticky_per_round = 0; // C
@@ -39,6 +44,13 @@ class StickySampler final : public Sampler {
   const StickyConfig& config() const { return cfg_; }
   int group_size() const { return static_cast<int>(sticky_.size()); }
   std::vector<int> sticky_members() const;  // sorted, for tests
+
+  /// Checkpoint section: the sticky group membership (sorted client ids).
+  /// The group IS the sampler's only cross-round state — losing it on a
+  /// server restart silently changes which clients stay sticky, which is
+  /// exactly the experiment-corrupting failure checkpoints exist to stop.
+  void save_state(ckpt::Writer& w) const;
+  void restore_state(ckpt::Reader& r);
 
  private:
   int num_clients_;

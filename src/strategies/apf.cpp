@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "agg/sparse_delta.h"
+#include "ckpt/io.h"
 #include "common/check.h"
 #include "compress/bitmask.h"
 #include "compress/encoding.h"
@@ -36,6 +37,35 @@ double ApfStrategy::frozen_fraction(int round) const {
   }
   return dim_ == 0 ? 0.0
                    : static_cast<double>(frozen) / static_cast<double>(dim_);
+}
+
+void ApfStrategy::save_state(ckpt::Writer& w) const {
+  GLUEFL_CHECK_MSG(dim_ > 0, "save_state needs an init()-ed strategy");
+  w.varint(dim_);
+  w.f32s(acc_sum_.data(), acc_sum_.size());
+  w.f32s(acc_abs_.data(), acc_abs_.size());
+  for (const int v : frozen_until_) w.varint(static_cast<uint64_t>(v));
+  for (const int v : freeze_period_) w.varint(static_cast<uint64_t>(v));
+}
+
+void ApfStrategy::restore_state(ckpt::Reader& r) {
+  GLUEFL_CHECK_MSG(dim_ > 0, "restore_state needs an init()-ed strategy");
+  const uint64_t dim = r.varint();
+  if (dim != dim_) {
+    throw ckpt::CkptError("checkpoint APF state has the wrong dim");
+  }
+  acc_sum_ = r.f32s();
+  acc_abs_ = r.f32s();
+  if (acc_sum_.size() != dim_ || acc_abs_.size() != dim_) {
+    throw ckpt::CkptError("checkpoint APF accumulators have the wrong dim");
+  }
+  const uint64_t round_cap = ckpt::kIntCap;
+  for (auto& v : frozen_until_) {
+    v = static_cast<int>(r.varint_max(round_cap, "freeze round"));
+  }
+  for (auto& v : freeze_period_) {
+    v = static_cast<int>(r.varint_max(round_cap, "freeze period"));
+  }
 }
 
 void ApfStrategy::run_round(SimEngine& engine, int round, RoundRecord& rec) {

@@ -47,6 +47,11 @@ class ApfStrategy final : public Strategy {
   /// Fraction of parameters currently frozen (for tests / diagnostics).
   double frozen_fraction(int round) const;
 
+  /// Checkpointable: the perturbation accumulators and per-parameter
+  /// freeze schedule.
+  void save_state(ckpt::Writer& w) const override;
+  void restore_state(ckpt::Reader& r) override;
+
  private:
   ApfConfig cfg_;
   std::unique_ptr<UniformSampler> sampler_;

@@ -47,6 +47,12 @@ class AsyncFedBuffStrategy final : public AsyncStrategy {
                  std::vector<AsyncUpdate>& buffer,
                  RoundRecord& rec) override;
 
+  /// Checkpointable: the discount family is pure configuration, so there
+  /// is no cross-aggregation state — the buffer/in-flight updates live in
+  /// AsyncRunState and ride the snapshot's async section instead.
+  void save_state(ckpt::Writer& w) const override { (void)w; }
+  void restore_state(ckpt::Reader& r) override { (void)r; }
+
  private:
   AsyncFedBuffConfig cfg_;
 };

@@ -22,6 +22,13 @@ class FedAvgStrategy final : public Strategy {
   void init(SimEngine& engine) override;
   void run_round(SimEngine& engine, int round, RoundRecord& rec) override;
 
+  /// Checkpointable: FedAvg carries no cross-round state — the uniform
+  /// sampler is stateless and there are no residuals — so the snapshot
+  /// section is explicitly empty (the engine-side model/tracker state is
+  /// captured by the snapshot core).
+  void save_state(ckpt::Writer& w) const override { (void)w; }
+  void restore_state(ckpt::Reader& r) override { (void)r; }
+
  private:
   std::unique_ptr<UniformSampler> sampler_;
 };

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "agg/sparse_delta.h"
+#include "ckpt/io.h"
 #include "common/check.h"
 #include "compress/encoding.h"
 #include "compress/topk.h"
@@ -38,6 +39,30 @@ void GlueFlStrategy::init(SimEngine& engine) {
   ec_ = std::make_unique<ErrorFeedback>(cfg_.error_comp, engine.dim());
   mask_ = BitMask(engine.dim());
   k_shr_target_ = static_cast<size_t>(std::lround(cfg_.q_shr * engine.dim()));
+}
+
+void GlueFlStrategy::save_state(ckpt::Writer& w) const {
+  GLUEFL_CHECK_MSG(sampler_ != nullptr, "save_state needs an init()-ed "
+                                        "strategy");
+  sampler_->save_state(w);
+  ec_->save_state(w);
+  w.blob(wire::encode_mask(mask_));
+  w.varint(static_cast<uint64_t>(regen_count_));
+}
+
+void GlueFlStrategy::restore_state(ckpt::Reader& r) {
+  GLUEFL_CHECK_MSG(sampler_ != nullptr, "restore_state needs an init()-ed "
+                                        "strategy");
+  sampler_->restore_state(r);
+  ec_->restore_state(r);
+  const std::vector<uint8_t> mbuf = r.blob();
+  BitMask m = wire::decode_mask(mbuf.data(), mbuf.size());
+  if (m.size() != mask_.size()) {
+    throw ckpt::CkptError("checkpoint shared mask has the wrong dim");
+  }
+  mask_ = std::move(m);
+  regen_count_ =
+      static_cast<int>(r.varint_max(ckpt::kIntCap, "regen count"));
 }
 
 void GlueFlStrategy::run_round(SimEngine& engine, int round,

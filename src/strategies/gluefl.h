@@ -61,6 +61,11 @@ class GlueFlStrategy final : public Strategy {
   void init(SimEngine& engine) override;
   void run_round(SimEngine& engine, int round, RoundRecord& rec) override;
 
+  /// Checkpointable: sticky cohort, error-compensation residuals, shared
+  /// mask M_t and the regeneration counter.
+  void save_state(ckpt::Writer& w) const override;
+  void restore_state(ckpt::Reader& r) override;
+
   const BitMask& shared_mask() const { return mask_; }
   const StickySampler& sampler() const { return *sampler_; }
   /// Number of regeneration rounds executed so far (includes the bootstrap

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "agg/sparse_delta.h"
+#include "ckpt/io.h"
 #include "common/check.h"
 #include "compress/encoding.h"
 #include "compress/topk.h"
@@ -26,6 +27,17 @@ void StcStrategy::init(SimEngine& engine) {
       engine.dim());
   k_ = std::max<size_t>(
       1, static_cast<size_t>(std::lround(cfg_.q * engine.dim())));
+}
+
+void StcStrategy::save_state(ckpt::Writer& w) const {
+  GLUEFL_CHECK_MSG(ec_ != nullptr, "save_state needs an init()-ed strategy");
+  ec_->save_state(w);
+}
+
+void StcStrategy::restore_state(ckpt::Reader& r) {
+  GLUEFL_CHECK_MSG(ec_ != nullptr,
+                   "restore_state needs an init()-ed strategy");
+  ec_->restore_state(r);
 }
 
 void StcStrategy::run_round(SimEngine& engine, int round, RoundRecord& rec) {

@@ -35,6 +35,10 @@ class StcStrategy final : public Strategy {
   void init(SimEngine& engine) override;
   void run_round(SimEngine& engine, int round, RoundRecord& rec) override;
 
+  /// Checkpointable: the per-client error-accumulation memories.
+  void save_state(ckpt::Writer& w) const override;
+  void restore_state(ckpt::Reader& r) override;
+
  private:
   StcConfig cfg_;
   std::unique_ptr<UniformSampler> sampler_;

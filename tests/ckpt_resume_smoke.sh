@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# Kill-and-resume smoke over the REAL gluefl binary (CTest:
+# ckpt_resume_smoke, both Release and ASan legs):
+#
+#   1. run the reference campaign uninterrupted              -> ref.json
+#   2. rerun with --checkpoint-every and --crash-at-round;
+#      the process dies with exit code 3 (simulated crash)
+#   3. `gluefl resume` from the newest snapshot              -> resumed.json
+#   4. the two JSON summaries must be byte-identical
+#
+# Usage: ckpt_resume_smoke.sh /path/to/gluefl
+set -eu
+
+bin=${1:?usage: ckpt_resume_smoke.sh /path/to/gluefl}
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+common="--strategy gluefl --dataset femnist --rounds 4 --scale 0.02 \
+  --eval-every 1 --seed 9"
+
+echo "== uninterrupted reference =="
+"$bin" run $common --json "$work/ref.json" > /dev/null
+
+echo "== crash at round 3 (checkpoint every 2) =="
+rc=0
+"$bin" run $common --checkpoint-every 2 --checkpoint-dir "$work" \
+  --crash-at-round 3 > "$work/crash.out" || rc=$?
+if [ "$rc" -ne 3 ]; then
+  echo "error: expected the simulated crash to exit 3, got $rc" >&2
+  cat "$work/crash.out" >&2
+  exit 1
+fi
+
+ckpt="$work/ckpt-00000002.gfc"
+if [ ! -f "$ckpt" ]; then
+  echo "error: expected checkpoint $ckpt was not written" >&2
+  exit 1
+fi
+
+echo "== resume from $ckpt =="
+"$bin" resume "$ckpt" --json "$work/resumed.json" > /dev/null
+
+if cmp -s "$work/ref.json" "$work/resumed.json"; then
+  echo "ckpt resume smoke: resumed JSON is byte-identical to the reference"
+else
+  echo "error: resumed JSON differs from the uninterrupted reference" >&2
+  diff "$work/ref.json" "$work/resumed.json" >&2 || true
+  exit 1
+fi

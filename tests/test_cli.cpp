@@ -3,12 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cli/cli.h"
+#include "ckpt/checkpoint.h"
 
 namespace gluefl::cli {
 namespace {
@@ -51,9 +53,21 @@ TEST(CliParse, MissingValueIsAnError) {
   EXPECT_NE(p.error.find("--rounds"), std::string::npos);
 }
 
-TEST(CliParse, PositionalTokenIsAnError) {
+TEST(CliParse, PositionalTokenIsCollectedForTheCommand) {
+  // parse_args collects positionals (resume consumes its checkpoint path
+  // this way); every other command rejects them at dispatch.
   const ParsedArgs p = parse_args(argv({"run", "gluefl"}));
-  EXPECT_FALSE(p.error.empty());
+  EXPECT_TRUE(p.error.empty()) << p.error;
+  ASSERT_EQ(p.positionals.size(), 1u);
+  EXPECT_EQ(p.positionals[0], "gluefl");
+}
+
+TEST(CliParse, PositionalRejectedByRunSweepList) {
+  for (const char* cmd : {"run", "sweep", "list"}) {
+    const CliResult r = invoke({cmd, "stray"});
+    EXPECT_EQ(r.code, 2) << cmd;
+    EXPECT_NE(r.err.find("stray"), std::string::npos) << cmd;
+  }
 }
 
 TEST(CliParse, DuplicateFlagIsAnError) {
@@ -441,6 +455,330 @@ TEST(CliSweep, RejectsOversizedGrid) {
        "0.01,0.02,0.03,0.04,0.05", "--sticky-c", "6,12,18"});
   EXPECT_EQ(r.code, 2);
   EXPECT_NE(r.err.find("75"), std::string::npos);
+}
+
+// --------------------------------------------------- checkpoint / resume
+
+namespace fs = std::filesystem;
+
+/// RAII scratch directory under the test working directory.
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const std::string& name) : path(name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() { fs::remove_all(path); }
+  std::string str() const { return path.string(); }
+};
+
+TEST(CliCkpt, ProvenanceEmbeddedInRunJson) {
+  const CliResult r = invoke({"run", "--strategy", "fedavg", "--rounds", "1",
+                              "--scale", "0.02"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"provenance\": {\"git_hash\": "), std::string::npos);
+  EXPECT_NE(r.out.find("\"build_type\": "), std::string::npos);
+}
+
+TEST(CliCkpt, ProvenanceEmbeddedInSweepJson) {
+  const CliResult r = invoke({"sweep", "--rounds", "1", "--scale", "0.02"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"provenance\": {\"git_hash\": "), std::string::npos);
+}
+
+TEST(CliCkpt, CheckpointEveryBelowOneRejected) {
+  const CliResult r = invoke({"run", "--rounds", "2", "--scale", "0.02",
+                              "--checkpoint-every", "0", "--checkpoint-dir",
+                              "."});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("checkpoint-every"), std::string::npos);
+}
+
+TEST(CliCkpt, CheckpointEveryRequiresDir) {
+  const CliResult r = invoke(
+      {"run", "--rounds", "2", "--scale", "0.02", "--checkpoint-every", "1"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--checkpoint-dir"), std::string::npos);
+}
+
+TEST(CliCkpt, MissingCheckpointDirRejected) {
+  const CliResult r = invoke({"run", "--rounds", "2", "--scale", "0.02",
+                              "--checkpoint-every", "1", "--checkpoint-dir",
+                              "no/such/dir/anywhere"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("missing or not writable"), std::string::npos);
+}
+
+TEST(CliCkpt, CrashRoundOutOfRangeRejected) {
+  for (const char* bad : {"0", "7"}) {
+    const CliResult r = invoke({"run", "--rounds", "6", "--scale", "0.02",
+                                "--crash-at-round", bad});
+    EXPECT_EQ(r.code, 2) << bad;
+    EXPECT_NE(r.err.find("crash-at-round"), std::string::npos) << bad;
+  }
+}
+
+TEST(CliCkpt, ResumeMissingCheckpointIsACleanError) {
+  const CliResult r = invoke({"resume", "no-such-checkpoint.gfc"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("no-such-checkpoint.gfc"), std::string::npos);
+  // One clean line, not a CHECK stack line.
+  EXPECT_EQ(r.err.find("GLUEFL_CHECK"), std::string::npos);
+}
+
+TEST(CliCkpt, ResumeWithoutPathIsAUsageError) {
+  const CliResult r = invoke({"resume"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("checkpoint path"), std::string::npos);
+}
+
+TEST(CliCkpt, ResumeTruncatedAndCorruptAndWrongVersionRejected) {
+  ScratchDir dir("cli_ckpt_bad");
+  // Write a real checkpoint first.
+  const CliResult w =
+      invoke({"run", "--strategy", "fedavg", "--rounds", "4", "--scale",
+              "0.02", "--checkpoint-every", "2", "--checkpoint-dir",
+              dir.str().c_str()});
+  ASSERT_EQ(w.code, 0) << w.err;
+  const fs::path good = dir.path / "ckpt-00000002.gfc";
+  ASSERT_TRUE(fs::exists(good));
+  std::ifstream in(good, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+
+  const auto write_variant = [&](const std::string& name,
+                                 const std::vector<char>& content) {
+    const fs::path p = dir.path / name;
+    std::ofstream out(p, std::ios::binary);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    return p.string();
+  };
+
+  std::vector<char> truncated(bytes.begin(),
+                              bytes.begin() + static_cast<long>(40));
+  std::vector<char> corrupt = bytes;
+  corrupt[bytes.size() / 2] ^= 0x20;
+  std::vector<char> wrong_version = bytes;
+  wrong_version[4] = 99;  // format byte
+
+  struct Case {
+    std::string path;
+    const char* expect;
+  };
+  const Case cases[] = {
+      {write_variant("trunc.gfc", truncated), "truncated"},
+      {write_variant("corrupt.gfc", corrupt), "CRC"},
+      {write_variant("version.gfc", wrong_version), "version"},
+  };
+  for (const Case& c : cases) {
+    const CliResult r = invoke({"resume", c.path.c_str()});
+    EXPECT_EQ(r.code, 1) << c.path;
+    EXPECT_NE(r.err.find(c.expect), std::string::npos) << r.err;
+  }
+}
+
+TEST(CliCkpt, CrashThenResumeReproducesUninterruptedJsonByteExactly) {
+  ScratchDir dir("cli_ckpt_e2e");
+  const std::string full_json = (dir.path / "full.json").string();
+  const std::string resumed_json = (dir.path / "resumed.json").string();
+
+  const CliResult full =
+      invoke({"run", "--strategy", "gluefl", "--rounds", "4", "--scale",
+              "0.02", "--eval-every", "1", "--json", full_json.c_str()});
+  ASSERT_EQ(full.code, 0) << full.err;
+
+  const CliResult crashed =
+      invoke({"run", "--strategy", "gluefl", "--rounds", "4", "--scale",
+              "0.02", "--eval-every", "1", "--checkpoint-every", "2",
+              "--checkpoint-dir", dir.str().c_str(), "--crash-at-round",
+              "3"});
+  EXPECT_EQ(crashed.code, 3);  // the simulated-crash exit code
+  EXPECT_NE(crashed.out.find("simulated crash"), std::string::npos);
+  const std::string ckpt = (dir.path / "ckpt-00000002.gfc").string();
+  EXPECT_NE(crashed.out.find(ckpt), std::string::npos);
+
+  const CliResult resumed = invoke(
+      {"resume", ckpt.c_str(), "--json", resumed_json.c_str()});
+  ASSERT_EQ(resumed.code, 0) << resumed.err;
+
+  std::ifstream a(full_json), b(resumed_json);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  ASSERT_FALSE(sa.str().empty());
+  EXPECT_EQ(sa.str(), sb.str());  // byte-identical summary
+}
+
+TEST(CliCkpt, AsyncCrashThenResumeMatchesUninterruptedJson) {
+  ScratchDir dir("cli_ckpt_async_e2e");
+  const std::string full_json = (dir.path / "full.json").string();
+  const std::string resumed_json = (dir.path / "resumed.json").string();
+
+  const CliResult full =
+      invoke({"run", "--exec", "async", "--rounds", "6", "--scale", "0.02",
+              "--eval-every", "2", "--json", full_json.c_str()});
+  ASSERT_EQ(full.code, 0) << full.err;
+
+  const CliResult crashed =
+      invoke({"run", "--exec", "async", "--rounds", "6", "--scale", "0.02",
+              "--eval-every", "2", "--checkpoint-every", "3",
+              "--checkpoint-dir", dir.str().c_str(), "--crash-at-round",
+              "4"});
+  EXPECT_EQ(crashed.code, 3);
+  const std::string ckpt = (dir.path / "ckpt-00000003.gfc").string();
+  ASSERT_TRUE(fs::exists(ckpt));
+
+  const CliResult resumed = invoke(
+      {"resume", ckpt.c_str(), "--json", resumed_json.c_str()});
+  ASSERT_EQ(resumed.code, 0) << resumed.err;
+
+  std::ifstream a(full_json), b(resumed_json);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  ASSERT_FALSE(sa.str().empty());
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(CliCkpt, ResumeAcceptsThreadOverrideWithIdenticalJson) {
+  ScratchDir dir("cli_ckpt_threads");
+  const std::string full_json = (dir.path / "full.json").string();
+  const std::string resumed_json = (dir.path / "resumed.json").string();
+
+  const CliResult full =
+      invoke({"run", "--strategy", "stc", "--rounds", "4", "--scale", "0.02",
+              "--threads", "1", "--json", full_json.c_str()});
+  ASSERT_EQ(full.code, 0) << full.err;
+
+  const CliResult crashed =
+      invoke({"run", "--strategy", "stc", "--rounds", "4", "--scale", "0.02",
+              "--threads", "1", "--checkpoint-every", "2",
+              "--checkpoint-dir", dir.str().c_str(), "--crash-at-round",
+              "3"});
+  EXPECT_EQ(crashed.code, 3);
+
+  // Training is thread-count deterministic, so resuming with 4 threads
+  // must still match the single-threaded original byte for byte.
+  const std::string ckpt = (dir.path / "ckpt-00000002.gfc").string();
+  const CliResult resumed =
+      invoke({"resume", ckpt.c_str(), "--threads", "4", "--json",
+              resumed_json.c_str()});
+  ASSERT_EQ(resumed.code, 0) << resumed.err;
+
+  std::ifstream a(full_json), b(resumed_json);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(CliCkpt, TamperedMetaOutOfRangeIsACleanError) {
+  // A checkpoint whose CRC has been re-sealed around a nonsense meta
+  // value (eval_every=0 would divide by zero in the round loop) must die
+  // as one clean CkptError line, never as UB.
+  ScratchDir dir("cli_ckpt_tamper");
+  const CliResult w =
+      invoke({"run", "--strategy", "fedavg", "--rounds", "4", "--scale",
+              "0.02", "--checkpoint-every", "2", "--checkpoint-dir",
+              dir.str().c_str()});
+  ASSERT_EQ(w.code, 0) << w.err;
+  const std::string good = (dir.path / "ckpt-00000002.gfc").string();
+
+  ckpt::Snapshot snap = ckpt::load_checkpoint(good);
+  snap.meta["eval_every"] = "0";
+  const std::string bad = (dir.path / "tampered.gfc").string();
+  ckpt::save_checkpoint(bad, snap);  // re-seals the CRC
+
+  const CliResult r = invoke({"resume", bad.c_str()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("eval_every"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("out of range"), std::string::npos) << r.err;
+}
+
+TEST(CliCkpt, AnyLegalRunConfigurationIsResumable) {
+  // Resume's meta validation must accept exactly what run's flag
+  // validation accepts — an extreme-but-legal overcommit must not strand
+  // the campaign's snapshots.
+  ScratchDir dir("cli_ckpt_extreme");
+  const CliResult w =
+      invoke({"run", "--strategy", "fedavg", "--rounds", "4", "--scale",
+              "0.02", "--overcommit", "2000", "--checkpoint-every", "2",
+              "--checkpoint-dir", dir.str().c_str()});
+  ASSERT_EQ(w.code, 0) << w.err;
+  const std::string ckpt = (dir.path / "ckpt-00000002.gfc").string();
+  const CliResult r = invoke({"resume", ckpt.c_str()});
+  EXPECT_EQ(r.code, 0) << r.err;
+}
+
+TEST(CliCkpt, TamperedRegistryNameIsACleanError) {
+  // Unknown agg/wire names must reject as CkptError (exit 1), never fall
+  // back to a silent default backend.
+  ScratchDir dir("cli_ckpt_registry");
+  const CliResult w =
+      invoke({"run", "--strategy", "fedavg", "--rounds", "4", "--scale",
+              "0.02", "--checkpoint-every", "2", "--checkpoint-dir",
+              dir.str().c_str()});
+  ASSERT_EQ(w.code, 0) << w.err;
+  ckpt::Snapshot snap =
+      ckpt::load_checkpoint((dir.path / "ckpt-00000002.gfc").string());
+  snap.meta["agg"] = "bogus";
+  const std::string bad = (dir.path / "bad-agg.gfc").string();
+  ckpt::save_checkpoint(bad, snap);
+  const CliResult r = invoke({"resume", bad.c_str()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("bogus"), std::string::npos) << r.err;
+}
+
+TEST(CliCkpt, ResumeRejectsCrashRoundAtOrBeforeTheBoundary) {
+  ScratchDir dir("cli_ckpt_crash_range");
+  const CliResult w =
+      invoke({"run", "--strategy", "fedavg", "--rounds", "4", "--scale",
+              "0.02", "--checkpoint-every", "2", "--checkpoint-dir",
+              dir.str().c_str()});
+  ASSERT_EQ(w.code, 0) << w.err;
+  const std::string ckpt = (dir.path / "ckpt-00000002.gfc").string();
+
+  // Boundary 2 is already complete: a crash at 1 or 2 can never fire.
+  for (const char* bad : {"1", "2"}) {
+    const CliResult r = invoke({"resume", ckpt.c_str(), "--checkpoint-every",
+                                "2", "--checkpoint-dir", dir.str().c_str(),
+                                "--crash-at-round", bad});
+    EXPECT_EQ(r.code, 2) << bad;
+    EXPECT_NE(r.err.find("checkpoint boundary"), std::string::npos) << r.err;
+  }
+  // Boundary 3 is still ahead: the resumed run must crash there.
+  const CliResult r = invoke({"resume", ckpt.c_str(), "--crash-at-round",
+                              "3"});
+  EXPECT_EQ(r.code, 3);
+  EXPECT_NE(r.out.find("simulated crash"), std::string::npos);
+}
+
+TEST(CliCkpt, ResumeCrashReportPointsAtTheSourceCheckpoint) {
+  // A crash injected before the resumed run's first NEW snapshot must
+  // still point the user at the (valid) source checkpoint.
+  ScratchDir dir("cli_ckpt_crash_report");
+  const CliResult w =
+      invoke({"run", "--strategy", "fedavg", "--rounds", "6", "--scale",
+              "0.02", "--checkpoint-every", "2", "--checkpoint-dir",
+              dir.str().c_str()});
+  ASSERT_EQ(w.code, 0) << w.err;
+  const std::string ckpt = (dir.path / "ckpt-00000002.gfc").string();
+
+  const CliResult r = invoke({"resume", ckpt.c_str(), "--crash-at-round",
+                              "3"});
+  EXPECT_EQ(r.code, 3);
+  EXPECT_NE(r.out.find("resume with: gluefl resume " + ckpt),
+            std::string::npos)
+      << r.out;
+}
+
+TEST(CliCkpt, SweepRejectsCheckpointFlags) {
+  const CliResult r = invoke({"sweep", "--rounds", "1", "--scale", "0.02",
+                              "--checkpoint-every", "1"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("checkpoint-every"), std::string::npos);
 }
 
 }  // namespace
