@@ -1,23 +1,24 @@
 #!/usr/bin/env sh
 # Runs the perf-trajectory benches (async throughput + aggregation scale +
-# wire codec + checkpoint) and merges their JSON summaries into one
-# trajectory file.
+# wire codec + checkpoint + population scale) and merges their JSON
+# summaries into one trajectory file.
 #
 #   sh bench/trajectory.sh [OUT_JSON] [BUILD_DIR]
 #
-# Defaults: OUT_JSON=BENCH_5.json, BUILD_DIR=build. Honors the benches'
+# Defaults: OUT_JSON=BENCH_6.json, BUILD_DIR=build. Honors the benches'
 # environment knobs (GLUEFL_ROUNDS, GLUEFL_FULL, GLUEFL_AGG_*,
-# GLUEFL_WIRE_DIM, GLUEFL_CKPT_SCALE_PCT); CI passes GLUEFL_ROUNDS=1 for a
-# fast smoke, the committed repo-root BENCH_5.json is produced with the
-# defaults (the wire bench's default dimension and the checkpoint bench's
-# default population are already OpenImage scale).
+# GLUEFL_WIRE_DIM, GLUEFL_CKPT_SCALE_PCT, GLUEFL_POP_MAX); CI passes
+# GLUEFL_ROUNDS=1 for a fast smoke, the committed repo-root BENCH_6.json
+# is produced with the defaults (the wire bench's default dimension and
+# the checkpoint bench's default population are already OpenImage scale;
+# the population bench climbs to 1M clients).
 set -eu
 
-out=${1:-BENCH_5.json}
+out=${1:-BENCH_6.json}
 bindir=${2:-build}
 
 for bin in bench_async_throughput bench_agg_scale bench_wire_codec \
-    bench_ckpt; do
+    bench_ckpt bench_population_scale; do
   if [ ! -x "$bindir/$bin" ]; then
     echo "error: $bindir/$bin not built (cmake --build $bindir --target $bin)" >&2
     exit 1
@@ -28,15 +29,17 @@ tmp_async=$(mktemp)
 tmp_agg=$(mktemp)
 tmp_wire=$(mktemp)
 tmp_ckpt=$(mktemp)
-trap 'rm -f "$tmp_async" "$tmp_agg" "$tmp_wire" "$tmp_ckpt"' EXIT
+tmp_pop=$(mktemp)
+trap 'rm -f "$tmp_async" "$tmp_agg" "$tmp_wire" "$tmp_ckpt" "$tmp_pop"' EXIT
 
 GLUEFL_BENCH_JSON="$tmp_async" "$bindir/bench_async_throughput" >/dev/null
 GLUEFL_BENCH_JSON="$tmp_agg" "$bindir/bench_agg_scale" >/dev/null
 GLUEFL_BENCH_JSON="$tmp_wire" "$bindir/bench_wire_codec" >/dev/null
 GLUEFL_BENCH_JSON="$tmp_ckpt" "$bindir/bench_ckpt" >/dev/null
+GLUEFL_BENCH_JSON="$tmp_pop" "$bindir/bench_population_scale" >/dev/null
 
 # The bench summaries are single-line JSON objects; compose without jq.
-printf '{"schema": "gluefl.trajectory.v1", "async": %s, "agg_scale": %s, "wire_codec": %s, "ckpt": %s}\n' \
+printf '{"schema": "gluefl.trajectory.v1", "async": %s, "agg_scale": %s, "wire_codec": %s, "ckpt": %s, "population_scale": %s}\n' \
   "$(cat "$tmp_async")" "$(cat "$tmp_agg")" "$(cat "$tmp_wire")" \
-  "$(cat "$tmp_ckpt")" > "$out"
+  "$(cat "$tmp_ckpt")" "$(cat "$tmp_pop")" > "$out"
 echo "trajectory written to $out"

@@ -19,7 +19,7 @@
 //
 // File layout (little-endian; Writer/Reader conventions from ckpt/io.h):
 //
-//   File    := magic u32 ("GFCK") | format u8 (=1) | reserved u8 (=0)
+//   File    := magic u32 ("GFCK") | format u8 (=2) | reserved u8 (=0)
 //              | crc32 u32 (of payload) | payload_len u64 | payload
 //   payload := meta | core | sync blob | history | strategy | async
 //     meta     := npairs varint | (key str, value str)*
@@ -57,7 +57,10 @@ struct AsyncRunState;
 namespace gluefl::ckpt {
 
 inline constexpr uint32_t kMagic = 0x4B434647;  // "GFCK"
-inline constexpr uint8_t kFormatVersion = 1;
+/// Format 2: the SyncTracker section became a sparse id->round map and
+/// the async section dropped the dense in-flight flag vector (both
+/// per-client-dense layouts died with the virtual-population refactor).
+inline constexpr uint8_t kFormatVersion = 2;
 inline constexpr size_t kHeaderBytes = 18;
 
 /// RoundRecord serialization shared by the history and async sections

@@ -58,6 +58,13 @@ run flags:
   --env NAME         edge | 5g | datacenter                      [edge]
   --rounds N         training rounds (async: aggregations)       [50]
   --scale X          dataset population scale in (0, 1]          [0.25]
+  --population N     simulated client population in
+                     [1, 100000000]; omit to use the preset's
+                     count at this --scale                       [preset]
+  --population-mode MODE  per-client state layout: dense
+                     (materialized arrays) | virtual (derived on
+                     demand; memory stays O(active cohort) even
+                     at 10^6+ clients)                           [dense]
   --overcommit F     invitation over-commitment factor (sync)    [1.3]
   --eval-every N     evaluate test accuracy every N rounds       [5]
   --seed N           RNG seed                                    [42]
@@ -87,7 +94,8 @@ async run flags (require --exec=async):
   --max-staleness N    weight 0 beyond this staleness; 0 = off   [0]
 
 sweep flags (plus --dataset/--model/--env/--rounds/--scale/--seed/
-             --agg/--agg-shards/--topology/--wire above):
+             --population/--population-mode/--agg/--agg-shards/
+             --topology/--wire above):
   --q LIST           total mask ratios, e.g. 0.1,0.2,0.3
   --q-shr LIST       shared mask ratios, e.g. 0.08,0.16
   --sticky-s LIST    sticky group sizes S (absolute client counts)
@@ -223,6 +231,13 @@ SyntheticSpec make_spec(const std::string& dataset, double scale) {
   return speech_spec(scale);
 }
 
+/// The population the run actually simulates: --population when given,
+/// otherwise the dataset preset's client count at this --scale. This is
+/// the N that sizes samplers, async concurrency and the topology check.
+long effective_population(const RunOptions& opt, const SyntheticSpec& spec) {
+  return opt.population > 0 ? opt.population : spec.num_clients;
+}
+
 /// Strategy construction with the sticky group clamped to the (possibly
 /// tiny, --scale-shrunk) population so small smoke runs stay valid.
 std::unique_ptr<Strategy> make_strategy_for(const std::string& name, int k,
@@ -247,6 +262,10 @@ RunOptions resolve_common(Flags& flags) {
   opt.exec = flags.str("exec", opt.exec);
   opt.rounds = static_cast<int>(flags.integer("rounds", opt.rounds, 1, 1000000));
   opt.scale = flags.num("scale", opt.scale);
+  // [1, 10^8]: zero/negative populations are nonsense and anything past
+  // 10^8 exceeds the engine's supported maximum; absent = preset count.
+  opt.population = flags.integer("population", 0, 1, 100000000);
+  opt.population_mode = flags.str("population-mode", opt.population_mode);
   opt.overcommit = flags.num("overcommit", opt.overcommit);
   opt.eval_every =
       static_cast<int>(flags.integer("eval-every", opt.eval_every, 1, 1000000));
@@ -264,6 +283,7 @@ RunOptions resolve_common(Flags& flags) {
   require_name("network env", opt.env, env_names());
   require_name("exec mode", opt.exec, {"sync", "async"});
   require_name("aggregator", opt.agg, {"dense", "sharded"});
+  require_name("population mode", opt.population_mode, {"dense", "virtual"});
   require_name("wire mode", opt.wire, {"encoded", "analytic"});
   if (flags.provided("agg-shards") && opt.agg != "sharded") {
     throw UsageError("--agg-shards requires --agg=sharded");
@@ -361,11 +381,16 @@ AsyncOptions resolve_async(Flags& flags, int k, int num_clients) {
 
 SimEngine make_cli_engine(const RunOptions& opt, const SyntheticSpec& spec,
                           int k, int topk) {
-  if (opt.num_edges > spec.num_clients) {
+  const long pop = effective_population(opt, spec);
+  if (pop < k) {
+    throw UsageError("--population " + std::to_string(pop) +
+                     " is smaller than the preset cohort K=" +
+                     std::to_string(k));
+  }
+  if (opt.num_edges > pop) {
     throw UsageError("--topology hier:" + std::to_string(opt.num_edges) +
                      " has more edges than the population (" +
-                     std::to_string(spec.num_clients) +
-                     " clients at this --scale)");
+                     std::to_string(pop) + " clients)");
   }
   TrainConfig train;
   train.lr0 = 0.05;
@@ -378,6 +403,10 @@ SimEngine make_cli_engine(const RunOptions& opt, const SyntheticSpec& spec,
   run.seed = opt.seed;
   run.use_availability = true;
   run.num_threads = opt.threads;
+  run.population = opt.population;
+  run.population_mode = opt.population_mode == "virtual"
+                            ? PopulationMode::kVirtual
+                            : PopulationMode::kDense;
   run.agg.kind = opt.agg == "sharded" ? AggKind::kSharded : AggKind::kDense;
   run.agg.shards = opt.agg_shards;
   run.topology.num_edges = opt.num_edges;
@@ -442,6 +471,8 @@ std::map<std::string, std::string> ckpt_meta(const RunOptions& opt,
   m["env"] = opt.env;
   m["rounds"] = std::to_string(opt.rounds);
   m["scale"] = meta_double_str(opt.scale);
+  m["population"] = std::to_string(opt.population);
+  m["population_mode"] = opt.population_mode;
   m["overcommit"] = meta_double_str(opt.overcommit);
   m["eval_every"] = std::to_string(opt.eval_every);
   m["seed"] = std::to_string(opt.seed);
@@ -636,7 +667,8 @@ std::string async_json(const AsyncOptions& a) {
 }
 
 std::string run_json(const RunOptions& opt, const std::string& strategy,
-                     const SyntheticSpec& spec, int k, const RunResult& res,
+                     const SyntheticSpec& spec, int k, long population,
+                     double peak_rss_est_mb, const RunResult& res,
                      const std::string& async_block = "") {
   const RunTotals totals = res.totals();
   std::ostringstream os;
@@ -650,6 +682,9 @@ std::string run_json(const RunOptions& opt, const std::string& strategy,
      << ", \"agg_shards\": " << opt.agg_shards
      << ", \"topology\": " << jstr(opt.topology)
      << ", \"wire\": " << jstr(opt.wire)
+     << ", \"population\": " << population
+     << ", \"population_mode\": " << jstr(opt.population_mode)
+     << ", \"peak_rss_est_mb\": " << jnum(peak_rss_est_mb)
      << ", \"provenance\": " << provenance_json();
   if (!async_block.empty()) os << ", \"async\": " << async_block;
   os << ", \"best_accuracy\": " << jnum(res.best_accuracy())
@@ -672,7 +707,8 @@ void emit_json(const std::string& json, const std::string& path,
 /// two commands is the resume correctness contract, so both MUST go
 /// through here.
 void emit_run_report(const RunOptions& opt, const std::string& strategy_name,
-                     const SyntheticSpec& spec, int k, const RunResult& res,
+                     const SyntheticSpec& spec, int k, long population,
+                     double peak_rss_est_mb, const RunResult& res,
                      const AsyncOptions* aopt, std::ostream& out) {
   const bool async = aopt != nullptr;
   TablePrinter t;
@@ -703,8 +739,8 @@ void emit_run_report(const RunOptions& opt, const std::string& strategy_name,
       << " h  TT=" << fmt_double(totals.wall_hours, 2)
       << " h  best-acc=" << fmt_percent(res.best_accuracy()) << "\n";
 
-  emit_json(run_json(opt, strategy_name, spec, k, res,
-                     async ? async_json(*aopt) : ""),
+  emit_json(run_json(opt, strategy_name, spec, k, population, peak_rss_est_mb,
+                     res, async ? async_json(*aopt) : ""),
             opt.json_path, out);
 }
 
@@ -859,16 +895,21 @@ int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   const SyntheticSpec spec = make_spec(opt.dataset, opt.scale);
   const int k = preset_clients_per_round(spec);
   const int topk = preset_topk(spec);
+  const long pop = effective_population(opt, spec);
   AsyncOptions aopt;
-  if (async) aopt = resolve_async(flags, k, spec.num_clients);
+  if (async) aopt = resolve_async(flags, k, static_cast<int>(pop));
   flags.reject_unknown();
   SimEngine engine = make_cli_engine(opt, spec, k, topk);
+  const double rss_mb =
+      static_cast<double>(engine.memory_estimate_bytes()) / (1024.0 * 1024.0);
 
   const ckpt::CkptOptions copts{opt.checkpoint_every, opt.checkpoint_dir,
                                 opt.crash_at_round};
 
   out << "run: " << strategy_name << " on " << opt.dataset << " x " << opt.model
-      << " over " << opt.env << " (N=" << spec.num_clients << ", K=" << k;
+      << " over " << opt.env << " (N=" << pop;
+  if (opt.population_mode == "virtual") out << " virtual";
+  out << ", K=" << k;
   if (!async) out << ", OC=" << fmt_double(opt.overcommit, 2);
   out << ", " << opt.rounds << " rounds, seed=" << opt.seed << ")\n";
   if (async) {
@@ -898,8 +939,8 @@ int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
           make_ckpt_hook(copts, opt, strategy_name, &aopt, *strategy);
       res = async_engine.run(*strategy, hook.get());
     } else {
-      auto strategy =
-          make_strategy_for(strategy_name, k, opt.model, spec.num_clients);
+      auto strategy = make_strategy_for(strategy_name, k, opt.model,
+                                        static_cast<int>(pop));
       const auto hook =
           make_ckpt_hook(copts, opt, strategy_name, nullptr, *strategy);
       res = engine.run(*strategy, hook.get());
@@ -908,8 +949,8 @@ int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     return report_simulated_crash(crash, out);
   }
 
-  emit_run_report(opt, strategy_name, spec, k, res, async ? &aopt : nullptr,
-                  out);
+  emit_run_report(opt, strategy_name, spec, k, pop, rss_mb, res,
+                  async ? &aopt : nullptr, out);
   return 0;
 }
 
@@ -937,6 +978,9 @@ int cmd_resume(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (opt.scale <= 0.0 || opt.scale > 1.0) {
     meta_range_fail(snap, "scale", "scale in (0, 1]");
   }
+  opt.population = meta_long_range(snap, "population", 0, 100000000);
+  opt.population_mode = meta_get(snap, "population_mode");
+  require_meta_name(snap, "population_mode", {"dense", "virtual"});
   opt.overcommit = meta_double(snap, "overcommit");
   if (opt.overcommit < 1.0) {
     meta_range_fail(snap, "overcommit", "overcommit >= 1");
@@ -997,6 +1041,7 @@ int cmd_resume(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   const SyntheticSpec spec = make_spec(opt.dataset, opt.scale);
   const int k = preset_clients_per_round(spec);
   const int topk = preset_topk(spec);
+  const long pop = effective_population(opt, spec);
   AsyncOptions aopt;
   if (async) {
     aopt.engine.buffer_size =
@@ -1020,6 +1065,8 @@ int cmd_resume(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
         static_cast<int>(meta_long_range(snap, "max_staleness", 0, 1000000));
   }
   SimEngine engine = make_cli_engine(opt, spec, k, topk);
+  const double rss_mb =
+      static_cast<double>(engine.memory_estimate_bytes()) / (1024.0 * 1024.0);
 
   out << "resume: " << strategy_name << " on " << opt.dataset << " x "
       << opt.model << " from round " << snap.next_round << "/" << opt.rounds
@@ -1038,8 +1085,8 @@ int cmd_resume(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
       res = async_engine.resume(*strategy, std::move(state),
                                 ckpt::history_result(snap), hook.get());
     } else {
-      auto strategy =
-          make_strategy_for(strategy_name, k, opt.model, spec.num_clients);
+      auto strategy = make_strategy_for(strategy_name, k, opt.model,
+                                        static_cast<int>(pop));
       const auto hook = make_ckpt_hook(copts, opt, strategy_name, nullptr,
                                        *strategy, path);
       ckpt::restore_sync_run(snap, engine, *strategy);
@@ -1050,8 +1097,8 @@ int cmd_resume(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     return report_simulated_crash(crash, out);
   }
 
-  emit_run_report(opt, strategy_name, spec, k, res, async ? &aopt : nullptr,
-                  out);
+  emit_run_report(opt, strategy_name, spec, k, pop, rss_mb, res,
+                  async ? &aopt : nullptr, out);
   return 0;
 }
 
@@ -1067,8 +1114,10 @@ int cmd_sweep_async(Flags& flags, const RunOptions& opt, std::ostream& out) {
   const SyntheticSpec spec = make_spec(opt.dataset, opt.scale);
   const int k = preset_clients_per_round(spec);
   const int topk = preset_topk(spec);
+  const long pop = effective_population(opt, spec);
 
-  const AsyncOptions base = resolve_async_shared(flags, k, spec.num_clients);
+  const AsyncOptions base =
+      resolve_async_shared(flags, k, static_cast<int>(pop));
   const int conc = base.engine.concurrency;
   // Like run's --async-buffer, the default arm clamps to the concurrency;
   // only explicitly-listed buffer values can violate K <= N below.
@@ -1094,10 +1143,12 @@ int cmd_sweep_async(Flags& flags, const RunOptions& opt, std::ostream& out) {
   }
 
   out << "sweep: async-fedbuff on " << opt.dataset << " x " << opt.model
-      << " over " << opt.env << " (N=" << spec.num_clients << ", conc=" << conc
+      << " over " << opt.env << " (N=" << pop << ", conc=" << conc
       << ", " << opt.rounds << " aggregations, " << arms << " arms)\n\n";
 
   SimEngine engine = make_cli_engine(opt, spec, k, topk);
+  const double rss_mb =
+      static_cast<double>(engine.memory_estimate_bytes()) / (1024.0 * 1024.0);
   std::vector<LabeledRun> runs;
   for (const double b : buffers) {
     for (const double a : alphas) {
@@ -1131,6 +1182,9 @@ int cmd_sweep_async(Flags& flags, const RunOptions& opt, std::ostream& out) {
        << ", \"agg_shards\": " << opt.agg_shards
        << ", \"topology\": " << jstr(opt.topology)
        << ", \"wire\": " << jstr(opt.wire)
+       << ", \"population\": " << pop
+       << ", \"population_mode\": " << jstr(opt.population_mode)
+       << ", \"peak_rss_est_mb\": " << jnum(rss_mb)
        << ", \"provenance\": " << provenance_json()
        << ", \"rounds\": " << opt.rounds << ", \"concurrency\": " << conc
        << ", \"staleness\": " << jstr(base.staleness)
@@ -1159,6 +1213,7 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   const SyntheticSpec spec = make_spec(opt.dataset, opt.scale);
   const int k = preset_clients_per_round(spec);
   const int topk = preset_topk(spec);
+  const long pop = effective_population(opt, spec);
   const GlueFlConfig base = calibrated_gluefl_config(k, opt.model);
 
   const std::vector<double> qs = flags.list("q", {base.q});
@@ -1196,10 +1251,12 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   }
 
   out << "sweep: gluefl on " << opt.dataset << " x " << opt.model << " over "
-      << opt.env << " (N=" << spec.num_clients << ", K=" << k << ", "
+      << opt.env << " (N=" << pop << ", K=" << k << ", "
       << opt.rounds << " rounds, " << arms << " arms)\n\n";
 
   SimEngine engine = make_cli_engine(opt, spec, k, topk);
+  const double rss_mb =
+      static_cast<double>(engine.memory_estimate_bytes()) / (1024.0 * 1024.0);
   std::vector<LabeledRun> runs;
   for (const double q : qs) {
     for (const double q_shr : q_shrs) {
@@ -1209,7 +1266,7 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
           cfg.q = q;
           cfg.q_shr = q_shr;
           cfg.sticky_group_size =
-              std::min(static_cast<int>(s), spec.num_clients);
+              std::min(static_cast<int>(s), static_cast<int>(pop));
           cfg.sticky_per_round = std::min(static_cast<int>(c), k);
           std::ostringstream label;
           label << "q=" << fmt_percent(q) << " q_shr=" << fmt_percent(q_shr)
@@ -1240,6 +1297,9 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
        << ", \"agg_shards\": " << opt.agg_shards
        << ", \"topology\": " << jstr(opt.topology)
        << ", \"wire\": " << jstr(opt.wire)
+       << ", \"population\": " << pop
+       << ", \"population_mode\": " << jstr(opt.population_mode)
+       << ", \"peak_rss_est_mb\": " << jnum(rss_mb)
        << ", \"provenance\": " << provenance_json()
        << ", \"rounds\": " << opt.rounds
        << ", \"target_accuracy\": " << jnum(target) << ", \"arms\": [";

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "compress/encoding.h"
 #include "net/bandwidth.h"
+#include "sampling/sampler.h"
 #include "wire/codec.h"
 
 namespace gluefl {
@@ -54,8 +55,8 @@ void AsyncRunState::save_state(ckpt::Writer& w) const {
   w.f64(last_agg);
   w.u64(seq);
   w.varint(static_cast<uint64_t>(free_slots));
-  w.varint(in_flight.size());
-  for (const char f : in_flight) w.u8(static_cast<uint8_t>(f));
+  // in_flight is not serialized: it is exactly the set of event clients,
+  // and restore_state rebuilds it from the event list below.
   w.varint(events.size());
   for (const AsyncInFlight& f : events) {
     w.f64(f.finish);
@@ -92,18 +93,11 @@ void AsyncRunState::restore_state(ckpt::Reader& r, int num_clients,
   last_agg = r.f64();
   seq = r.u64();
   free_slots = static_cast<int>(r.varint_max(round_cap, "slot count"));
-  const uint64_t nflags = r.varint();
-  if (nflags != static_cast<uint64_t>(num_clients)) {
-    throw ckpt::CkptError("checkpoint async state covers " +
-                          std::to_string(nflags) + " clients, engine has " +
-                          std::to_string(num_clients));
-  }
-  in_flight.assign(static_cast<size_t>(num_clients), 0);
-  for (auto& f : in_flight) f = static_cast<char>(r.u8() != 0 ? 1 : 0);
   const uint64_t nevents =
       r.varint_max(static_cast<uint64_t>(num_clients), "event count");
   events.clear();
   events.reserve(nevents);
+  in_flight.clear();
   for (uint64_t i = 0; i < nevents; ++i) {
     AsyncInFlight f;
     f.finish = r.f64();
@@ -117,6 +111,9 @@ void AsyncRunState::restore_state(ckpt::Reader& r, int num_clients,
     f.up_b = static_cast<size_t>(r.varint());
     f.local = load_local(r, dim, stat_dim);
     f.wire = r.blob();
+    if (!in_flight.insert(f.client).second) {
+      throw ckpt::CkptError("checkpoint async events repeat a client");
+    }
     events.push_back(std::move(f));
   }
   const uint64_t nbuf =
@@ -156,7 +153,6 @@ RunResult AsyncSimEngine::run(AsyncStrategy& strategy, RoundHook* hook) {
   strategy.init(engine_);
 
   AsyncRunState st;
-  st.in_flight.assign(static_cast<size_t>(engine_.num_clients()), 0);
   st.buffer.reserve(static_cast<size_t>(cfg_.buffer_size));
   st.free_slots = cfg_.concurrency;
   st.pick_rng = engine_.async_rng(kPurposeSampling);
@@ -175,29 +171,25 @@ RunResult AsyncSimEngine::resume(AsyncStrategy& strategy, AsyncRunState state,
     throw ckpt::CkptError("checkpoint async version does not match the "
                           "restored history");
   }
-  if (static_cast<int>(state.in_flight.size()) != engine_.num_clients()) {
-    throw ckpt::CkptError("checkpoint async state does not match the "
-                          "engine population");
-  }
-  size_t dispatched = 0;
-  for (const char f : state.in_flight) dispatched += f != 0 ? 1 : 0;
-  if (dispatched != state.events.size() ||
-      state.free_slots + static_cast<int>(state.events.size()) !=
-          cfg_.concurrency) {
+  if (state.free_slots + static_cast<int>(state.events.size()) !=
+      cfg_.concurrency) {
     throw ckpt::CkptError("checkpoint async slot accounting is inconsistent "
                           "with the configured concurrency");
   }
-  // Events must be exactly one per flagged client — a tampered snapshot
+  // Events must be exactly one per in-flight client — a tampered snapshot
   // with a duplicated event would double-complete one client and starve
   // the other flagged one forever.
-  std::vector<char> seen(state.in_flight.size(), 0);
+  if (state.in_flight.size() != state.events.size()) {
+    throw ckpt::CkptError("checkpoint async events do not match the "
+                          "in-flight client set");
+  }
+  std::unordered_set<int> seen;
   for (const AsyncInFlight& f : state.events) {
-    const size_t c = static_cast<size_t>(f.client);
-    if (!state.in_flight[c] || seen[c]) {
+    if (f.client < 0 || f.client >= engine_.num_clients() ||
+        state.in_flight.count(f.client) == 0 || !seen.insert(f.client).second) {
       throw ckpt::CkptError("checkpoint async events do not match the "
                             "in-flight client set");
     }
-    seen[c] = 1;
   }
   prefix.strategy = strategy.name();
   return run_loop(strategy, std::move(state), std::move(prefix), hook);
@@ -230,17 +222,28 @@ RunResult AsyncSimEngine::run_loop(AsyncStrategy& strategy, AsyncRunState st,
   // the SyncTracker), mirroring the synchronous path's accounting.
   auto fill_slots = [&]() {
     if (st.free_slots <= 0 || st.version >= rc.rounds) return;
-    std::vector<int> pool;
-    for (int c = 0; c < n; ++c) {
-      if (!st.in_flight[static_cast<size_t>(c)] &&
-          eng.client_available(c, st.version)) {
-        pool.push_back(c);
+    std::vector<int> picked;
+    if (static_cast<int64_t>(n) > kDenseScanThreshold) {
+      // Virtual population: rejection-sample dispatch candidates instead
+      // of scanning the whole id space per event.
+      picked = sample_virtual(n, st.free_slots, st.pick_rng, [&](int c) {
+        return st.in_flight.count(c) == 0 &&
+               eng.client_available(c, st.version);
+      });
+    } else {
+      std::vector<int> pool;
+      for (int c = 0; c < n; ++c) {
+        if (st.in_flight.count(c) == 0 &&
+            eng.client_available(c, st.version)) {
+          pool.push_back(c);
+        }
       }
+      const int take =
+          std::min(st.free_slots, static_cast<int>(pool.size()));
+      picked = st.pick_rng.sample_without_replacement(pool, take);
     }
-    const int take = std::min(st.free_slots, static_cast<int>(pool.size()));
+    const int take = static_cast<int>(picked.size());
     if (take <= 0) return;
-    const std::vector<int> picked =
-        st.pick_rng.sample_without_replacement(pool, take);
     auto locals = eng.local_train_seq(picked, st.version, st.seq);
     // The sizing function (and its encoded-mode staleness cache) lives for
     // a whole model version: fill_slots usually dispatches one client per
@@ -251,7 +254,7 @@ RunResult AsyncSimEngine::run_loop(AsyncStrategy& strategy, AsyncRunState st,
     }
     for (size_t i = 0; i < picked.size(); ++i) {
       const int c = picked[i];
-      const ClientProfile& p = eng.profiles()[static_cast<size_t>(c)];
+      const ClientProfile p = eng.profile(c);
       const size_t down_b = down_fn(c);
       AsyncInFlight f;
       f.seq = st.seq + i;
@@ -288,7 +291,7 @@ RunResult AsyncSimEngine::run_loop(AsyncStrategy& strategy, AsyncRunState st,
       st.rec.down_bytes += static_cast<double>(down_b) * eng.wire_scale();
       st.rec.num_invited += 1;
       eng.sync().mark_synced(c, st.version);
-      st.in_flight[static_cast<size_t>(c)] = 1;
+      st.in_flight.insert(c);
       st.events.push_back(std::move(f));
       std::push_heap(st.events.begin(), st.events.end(), later);
     }
@@ -329,7 +332,7 @@ RunResult AsyncSimEngine::run_loop(AsyncStrategy& strategy, AsyncRunState st,
     AsyncInFlight f = std::move(st.events.back());
     st.events.pop_back();
     st.now = f.finish;
-    st.in_flight[static_cast<size_t>(f.client)] = 0;
+    st.in_flight.erase(f.client);
     ++st.free_slots;
 
     AsyncUpdate u;

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "fl/engine.h"
@@ -84,7 +85,10 @@ struct AsyncRunState {
   /// the (finish, seq) ordering). Serialized as the raw vector: restoring
   /// the exact layout is what keeps the resumed pop sequence identical.
   std::vector<AsyncInFlight> events;
-  std::vector<char> in_flight;  // per-client dispatched flag
+  /// Clients currently dispatched. Sparse over the population (bounded by
+  /// `concurrency`) and fully derivable from `events`, so it is NOT
+  /// serialized — restore_state reconstructs it from the event list.
+  std::unordered_set<int> in_flight;
   std::vector<AsyncUpdate> buffer;
   RoundRecord rec;  // the partially-accumulated next record
   Rng pick_rng{0};  // dispatch sampling stream (advances per draw)

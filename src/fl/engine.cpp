@@ -19,6 +19,10 @@ namespace {
 // Training cost relative to inference: forward + backward ~ 3x forward.
 constexpr double kTrainFlopFactor = 3.0;
 
+// Largest supported --population; keeps ids, stream offsets, and the
+// checkpoint varints comfortably inside int range.
+constexpr int64_t kMaxPopulation = 100000000;
+
 // Stream ids for forked RNGs; keep them disjoint per purpose.
 constexpr uint64_t kStreamProfiles = 0x01;
 constexpr uint64_t kStreamAvailability = 0x02;
@@ -59,8 +63,13 @@ SimEngine::SimEngine(FederatedDataset dataset, ModelProxy proxy,
       run_cfg_(run_cfg),
       master_rng_(run_cfg.seed) {
   GLUEFL_CHECK(run_cfg_.rounds > 0);
+  population_ = run_cfg_.population > 0
+                    ? run_cfg_.population
+                    : static_cast<int64_t>(dataset_.num_clients());
+  GLUEFL_CHECK_MSG(population_ <= kMaxPopulation,
+                   "population exceeds the supported maximum");
   GLUEFL_CHECK(run_cfg_.clients_per_round > 0 &&
-               run_cfg_.clients_per_round <= dataset_.num_clients());
+               run_cfg_.clients_per_round <= population_);
   GLUEFL_CHECK(run_cfg_.overcommit >= 1.0);
   GLUEFL_CHECK(proxy_.model.input_dim() == dataset_.spec.feature_dim);
   GLUEFL_CHECK(proxy_.model.num_classes() == dataset_.spec.num_classes);
@@ -71,14 +80,10 @@ SimEngine::SimEngine(FederatedDataset dataset, ModelProxy proxy,
                     ? proxy_.real_params / static_cast<double>(dim_)
                     : 1.0;
 
-  Rng prof_rng = master_rng_.fork(kStreamProfiles);
-  profiles_ = make_profiles(dataset_.num_clients(), env_, prof_rng);
-
-  if (run_cfg_.use_availability && env_.availability < 1.0) {
-    Rng avail_rng = master_rng_.fork(kStreamAvailability);
-    availability_ = std::make_unique<AvailabilityTrace>(
-        dataset_.num_clients(), run_cfg_.rounds, env_, avail_rng);
-  }
+  directory_ = std::make_unique<ClientDirectory>(
+      population_, run_cfg_.rounds, env_, master_rng_.fork(kStreamProfiles),
+      master_rng_.fork(kStreamAvailability), run_cfg_.use_availability,
+      /*materialize=*/run_cfg_.population_mode == PopulationMode::kDense);
 
   num_threads_ = run_cfg_.num_threads > 0
                      ? run_cfg_.num_threads
@@ -92,7 +97,7 @@ SimEngine::SimEngine(FederatedDataset dataset, ModelProxy proxy,
   aggregator_ = make_aggregator(run_cfg_.agg, num_threads_);
   if (run_cfg_.topology.hierarchical()) {
     topology_ = std::make_unique<HierarchicalTopology>(
-        run_cfg_.topology, dataset_.num_clients(), env_.edge_down_mbps,
+        run_cfg_.topology, static_cast<int>(population_), env_.edge_down_mbps,
         env_.edge_up_mbps);
   }
 
@@ -103,12 +108,51 @@ void SimEngine::reset_state() {
   Rng init_rng = master_rng_.fork(kStreamInit);
   params_ = proxy_.model.make_params(init_rng);
   stats_ = proxy_.model.make_stats();
-  sync_ = std::make_unique<SyncTracker>(dataset_.num_clients(), dim_);
+  sync_ = std::make_unique<SyncTracker>(population_, dim_);
 }
 
 double SimEngine::client_weight(int client) const {
-  GLUEFL_CHECK(client >= 0 && client < dataset_.num_clients());
-  return dataset_.p[static_cast<size_t>(client)];
+  GLUEFL_CHECK(client >= 0 && client < population_);
+  const size_t shard =
+      static_cast<size_t>(client % dataset_.num_clients());
+  // ratio is exactly 1.0 when the population equals the dataset's client
+  // count, so the historical weights are reproduced bit-for-bit.
+  const double ratio = static_cast<double>(dataset_.num_clients()) /
+                       static_cast<double>(population_);
+  return dataset_.p[shard] * ratio;
+}
+
+size_t SimEngine::memory_estimate_bytes() const {
+  const size_t f = sizeof(float);
+  // Global model + one worker replica (each Worker clones params/stats/
+  // grads). Counted thread-invariantly: the estimate rides the JSON
+  // report, whose bytes must not depend on --threads (results never do).
+  size_t bytes = 2 * 3 * (dim_ + stat_dim_) * f;
+  // Dataset shards and the test split.
+  bytes += (dataset_.test_x.size() + dataset_.test_y.size()) * f;
+  for (const ClientShard& c : dataset_.clients) {
+    bytes += c.x.size() * f + c.y.size() * sizeof(int);
+  }
+  // Per-client directory state: dense materializes the population,
+  // virtual keeps only the LRU-cached cohort.
+  if (run_cfg_.population_mode == PopulationMode::kDense) {
+    bytes += static_cast<size_t>(population_) * sizeof(ClientProfile);
+    if (!directory_->always_on()) {
+      const size_t words = (static_cast<size_t>(population_) + 63) / 64;
+      bytes += static_cast<size_t>(run_cfg_.rounds) * words * sizeof(uint64_t);
+    }
+  } else {
+    bytes += ClientDirectory::kDefaultCacheCapacity * 192;
+  }
+  // Sync tracker occupancy is bounded by the clients ever invited.
+  const double invited_per_round =
+      std::ceil(run_cfg_.overcommit *
+                static_cast<double>(run_cfg_.clients_per_round));
+  const int64_t participants = std::min(
+      population_, static_cast<int64_t>(invited_per_round) *
+                       static_cast<int64_t>(run_cfg_.rounds));
+  bytes += static_cast<size_t>(participants) * 48;
+  return bytes;
 }
 
 size_t SimEngine::stat_bytes() const { return dense_bytes(stat_dim_); }
@@ -123,12 +167,11 @@ Rng SimEngine::async_rng(uint64_t purpose) const {
 }
 
 bool SimEngine::client_available(int client, int round) const {
-  if (!availability_) return true;
-  return availability_->available(client, round);
+  return directory_->available(client, round);
 }
 
 AvailabilityFn SimEngine::availability_fn(int round) {
-  if (!availability_) return AvailabilityFn{};
+  if (directory_->always_on()) return AvailabilityFn{};
   return [this, round](int client) { return client_available(client, round); };
 }
 
@@ -195,7 +238,7 @@ Participation SimEngine::simulate_participation(
     Timed t;
     t.id = id;
     t.down_b = down_b;
-    const ClientProfile& p = profiles_[static_cast<size_t>(id)];
+    const ClientProfile p = directory_->profile(id);
     t.dt = transfer_seconds(static_cast<double>(t.down_b) * wire_scale_,
                             p.down_mbps);
     if (topo != nullptr) {
@@ -304,7 +347,7 @@ void SimEngine::price_uplinks(const Participation& part,
   for (size_t i = 0; i < included.size(); ++i) {
     const int id = included[i];
     const size_t up_b = up_bytes_fn(id);
-    const ClientProfile& p = profiles_[static_cast<size_t>(id)];
+    const ClientProfile p = directory_->profile(id);
     const double ut = transfer_seconds(
         static_cast<double>(up_b) * wire_scale_, p.up_mbps);
     const double finish = part.ready_s[i] + ut;
@@ -379,7 +422,10 @@ std::function<size_t(int)> SimEngine::down_bytes_fn(int round,
 
 void SimEngine::train_one(Worker& w, int client, double lr, Rng rng,
                           LocalResult& out) {
-  const ClientShard& shard = dataset_.clients[static_cast<size_t>(client)];
+  // Virtual ids beyond the dataset's client count reuse shards modulo the
+  // shard count; at the default population this is the identity map.
+  const ClientShard& shard =
+      dataset_.clients[static_cast<size_t>(client % dataset_.num_clients())];
   GLUEFL_CHECK(shard.n > 0);
   const int feat = dataset_.spec.feature_dim;
   const int bs = std::min(train_cfg_.batch_size, shard.n);

@@ -1,9 +1,9 @@
 // SimEngine: the cross-device FL simulator.
 //
 // Owns the global model state (flat trainable params + BatchNorm stats),
-// the federated dataset, per-client system profiles, the availability
-// trace and the staleness tracker. Strategies drive each round through the
-// context API below; the engine provides
+// the federated dataset, the client directory (per-client profiles and
+// availability, dense or virtual) and the staleness tracker. Strategies
+// drive each round through the context API below; the engine provides
 //
 //   * deterministic, parallel client-local SGD (real training on the
 //     proxy model — accuracy curves are genuine, not modelled),
@@ -30,7 +30,7 @@
 #include "fl/sim_config.h"
 #include "fl/strategy.h"
 #include "fl/sync_tracker.h"
-#include "net/availability.h"
+#include "net/client_directory.h"
 #include "net/client_profile.h"
 #include "net/environment.h"
 #include "nn/proxies.h"
@@ -88,21 +88,37 @@ class SimEngine {
   // ---- context API used by strategies ----
   size_t dim() const { return dim_; }
   size_t stat_dim() const { return stat_dim_; }
-  int num_clients() const { return dataset_.num_clients(); }
+  /// Simulated population (RunConfig::population, defaulting to the
+  /// dataset's client count). Virtual ids in [0, num_clients()) map onto
+  /// dataset shards modulo the shard count.
+  int num_clients() const { return static_cast<int>(population_); }
   int clients_per_round() const { return run_cfg_.clients_per_round; }
   const FederatedDataset& dataset() const { return dataset_; }
   const TrainConfig& train_config() const { return train_cfg_; }
   const RunConfig& run_config() const { return run_cfg_; }
   const NetworkEnv& env() const { return env_; }
-  const std::vector<ClientProfile>& profiles() const { return profiles_; }
+  /// Per-client system profile, by value: under --population-mode=virtual
+  /// profiles are derived on demand and cache eviction would invalidate
+  /// references into the directory.
+  ClientProfile profile(int client) const { return directory_->profile(client); }
+  const ClientDirectory& directory() const { return *directory_; }
 
   std::vector<float>& params() { return params_; }
   const std::vector<float>& params() const { return params_; }
   std::vector<float>& stats() { return stats_; }
   const std::vector<float>& stats() const { return stats_; }
 
-  /// FedAvg importance weight p_i (= n_i / total samples).
+  /// FedAvg importance weight p_i. With the population equal to the
+  /// dataset's client count this is exactly n_i / total samples; larger
+  /// populations spread each shard's weight over its virtual replicas so
+  /// weights still sum to 1 over the population.
   double client_weight(int client) const;
+
+  /// Deterministic, config-derived estimate of the engine's peak resident
+  /// bytes (model replicas, dataset, per-client directory state, sync
+  /// tracker). Identical for a run and its resume by construction, so it
+  /// can ride the JSON report without breaking byte-identity.
+  size_t memory_estimate_bytes() const;
 
   SyncTracker& sync() { return *sync_; }
   const SyncTracker& sync() const { return *sync_; }
@@ -228,10 +244,10 @@ class SimEngine {
   std::vector<float> params_;
   std::vector<float> stats_;
 
-  std::vector<ClientProfile> profiles_;
+  int64_t population_ = 0;
+  std::unique_ptr<ClientDirectory> directory_;
   std::unique_ptr<Aggregator> aggregator_;
   std::unique_ptr<HierarchicalTopology> topology_;
-  std::unique_ptr<AvailabilityTrace> availability_;
   std::unique_ptr<SyncTracker> sync_;
   Rng master_rng_;
   double wire_scale_ = 1.0;

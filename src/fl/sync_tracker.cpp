@@ -1,15 +1,15 @@
 #include "fl/sync_tracker.h"
 
+#include <algorithm>
+
 #include "ckpt/io.h"
 #include "common/check.h"
 #include "wire/codec.h"
 
 namespace gluefl {
 
-SyncTracker::SyncTracker(int num_clients, size_t dim, size_t window)
-    : dim_(dim),
-      window_(window),
-      last_sync_(static_cast<size_t>(num_clients), -1) {
+SyncTracker::SyncTracker(int64_t num_clients, size_t dim, size_t window)
+    : num_clients_(num_clients), dim_(dim), window_(window) {
   GLUEFL_CHECK(num_clients > 0 && dim > 0 && window > 0);
 }
 
@@ -25,12 +25,16 @@ void SyncTracker::record_round_changes(int round, const BitMask& changed) {
   }
 }
 
+int SyncTracker::last_sync_of(int client) const {
+  GLUEFL_CHECK(client >= 0 && client < num_clients_);
+  const auto it = last_sync_.find(client);
+  return it == last_sync_.end() ? -1 : it->second;
+}
+
 size_t SyncTracker::stale_positions(int client, int round) const {
-  GLUEFL_CHECK(client >= 0 &&
-               client < static_cast<int>(last_sync_.size()));
   GLUEFL_CHECK_MSG(round <= next_round_,
                    "cannot query a round whose predecessors are unrecorded");
-  const int ls = last_sync_[static_cast<size_t>(client)];
+  const int ls = last_sync_of(client);
   if (ls < 0 || ls < first_round_) return dim_;  // never synced / off-window
   if (ls >= round) return 0;
   BitMask u(dim_);
@@ -41,12 +45,10 @@ size_t SyncTracker::stale_positions(int client, int round) const {
 }
 
 BitMask SyncTracker::stale_mask(int client, int round) const {
-  GLUEFL_CHECK(client >= 0 &&
-               client < static_cast<int>(last_sync_.size()));
   GLUEFL_CHECK_MSG(round <= next_round_,
                    "cannot query a round whose predecessors are unrecorded");
   BitMask u(dim_);
-  const int ls = last_sync_[static_cast<size_t>(client)];
+  const int ls = last_sync_of(client);
   if (ls < 0 || ls < first_round_) {
     u.set_all();  // never synced / off-window: full-model download
     return u;
@@ -75,26 +77,39 @@ size_t SyncTracker::changed_union(int from, int to) const {
 }
 
 int SyncTracker::staleness(int client, int round) const {
-  const int ls = last_sync_[static_cast<size_t>(client)];
+  const int ls = last_sync_of(client);
   if (ls < 0) return -1;
   return round - ls;
 }
 
 void SyncTracker::mark_synced(int client, int round) {
-  GLUEFL_CHECK(client >= 0 &&
-               client < static_cast<int>(last_sync_.size()));
-  last_sync_[static_cast<size_t>(client)] = round;
+  GLUEFL_CHECK(client >= 0 && client < num_clients_);
+  last_sync_[client] = round;
 }
 
 int SyncTracker::last_synced_round(int client) const {
-  return last_sync_[static_cast<size_t>(client)];
+  return last_sync_of(client);
+}
+
+size_t SyncTracker::resident_bytes() const {
+  // Hash node overhead dominates the 8-byte payload; ~48 bytes/entry.
+  return last_sync_.size() * 48 +
+         changes_.size() * ((dim_ + 7) / 8 + sizeof(BitMask));
 }
 
 void SyncTracker::save_state(ckpt::Writer& w) const {
-  w.varint(last_sync_.size());
+  w.varint(static_cast<uint64_t>(num_clients_));
   w.varint(dim_);
-  // last_sync entries live in [-1, next_round); +1 keeps them varintable.
-  for (const int ls : last_sync_) {
+  // Sparse map as id-sorted (id, last_sync + 1) pairs; sorting makes the
+  // byte stream independent of hash-map iteration order, which the
+  // resume byte-identity contract requires.
+  std::vector<std::pair<int, int>> entries(last_sync_.begin(),
+                                           last_sync_.end());
+  std::sort(entries.begin(), entries.end());
+  w.varint(entries.size());
+  for (const auto& [id, ls] : entries) {
+    w.varint(static_cast<uint64_t>(id));
+    // last_sync entries live in [-1, next_round); +1 keeps them varintable.
     w.varint(static_cast<uint64_t>(ls + 1));
   }
   w.varint(static_cast<uint64_t>(first_round_));
@@ -108,14 +123,27 @@ void SyncTracker::save_state(ckpt::Writer& w) const {
 void SyncTracker::restore_state(ckpt::Reader& r) {
   const uint64_t n = r.varint();
   const uint64_t dim = r.varint();
-  if (n != last_sync_.size() || dim != dim_) {
+  if (n != static_cast<uint64_t>(num_clients_) || dim != dim_) {
     throw ckpt::CkptError(
         "checkpoint sync-tracker shape mismatch (clients " +
-        std::to_string(n) + "/" + std::to_string(last_sync_.size()) +
-        ", dim " + std::to_string(dim) + "/" + std::to_string(dim_) + ")");
+        std::to_string(n) + "/" + std::to_string(num_clients_) + ", dim " +
+        std::to_string(dim) + "/" + std::to_string(dim_) + ")");
   }
-  for (auto& ls : last_sync_) {
-    ls = static_cast<int>(r.varint_max(ckpt::kIntCap, "sync round")) - 1;
+  const uint64_t entries =
+      r.varint_max(static_cast<uint64_t>(num_clients_), "sync-map size");
+  last_sync_.clear();
+  last_sync_.reserve(static_cast<size_t>(entries));
+  int64_t prev_id = -1;
+  for (uint64_t i = 0; i < entries; ++i) {
+    const int64_t id = static_cast<int64_t>(
+        r.varint_max(static_cast<uint64_t>(num_clients_) - 1, "sync client"));
+    if (id <= prev_id) {
+      throw ckpt::CkptError("checkpoint sync-map ids are not sorted");
+    }
+    prev_id = id;
+    const int ls =
+        static_cast<int>(r.varint_max(ckpt::kIntCap, "sync round")) - 1;
+    last_sync_.emplace(static_cast<int>(id), ls);
   }
   first_round_ = static_cast<int>(r.varint_max(ckpt::kIntCap, "round"));
   next_round_ = static_cast<int>(r.varint_max(ckpt::kIntCap, "round"));

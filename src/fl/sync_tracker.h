@@ -9,10 +9,17 @@
 // bitmap is small, but the union grows with staleness — which is exactly
 // why masking alone fails to save downstream bandwidth once client
 // sampling makes most clients stale.
+//
+// Per-client state is sparse over the population: only clients that have
+// ever synced occupy an entry, so memory is O(participants), not O(N) —
+// a virtual million-client population costs nothing until clients are
+// actually invited.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "compress/bitmask.h"
@@ -29,7 +36,7 @@ class SyncTracker {
  public:
   /// `window`: how many rounds of changed-bitmaps to retain; clients staler
   /// than the window are charged a full-model download.
-  SyncTracker(int num_clients, size_t dim, size_t window = 4096);
+  SyncTracker(int64_t num_clients, size_t dim, size_t window = 4096);
 
   size_t dim() const { return dim_; }
 
@@ -68,20 +75,30 @@ class SyncTracker {
 
   int last_synced_round(int client) const;
 
-  /// Checkpoint section: per-client last-sync rounds plus the retained
-  /// changed-bitmap window (masks ride the wire mask codec). restore_state
-  /// requires a tracker constructed with the same num_clients / dim and
-  /// rejects mismatches as CkptError.
+  /// Number of clients that have ever synced (the sparse-map occupancy).
+  size_t participants() const { return last_sync_.size(); }
+
+  /// Approximate bytes of per-client state currently resident.
+  size_t resident_bytes() const;
+
+  /// Checkpoint section: the sparse id -> last-sync map (count-prefixed,
+  /// id-sorted pairs) plus the retained changed-bitmap window (masks ride
+  /// the wire mask codec). restore_state requires a tracker constructed
+  /// with the same num_clients / dim and rejects mismatches as CkptError.
   void save_state(ckpt::Writer& w) const;
   void restore_state(ckpt::Reader& r);
 
  private:
+  int last_sync_of(int client) const;
+
+  int64_t num_clients_;
   size_t dim_;
   size_t window_;
-  std::vector<int> last_sync_;     // round whose model the client holds; -1 never
-  std::deque<BitMask> changes_;    // changes_[i] belongs to round first_round_ + i
+  // round whose model the client holds; absent = never synced.
+  std::unordered_map<int, int> last_sync_;
+  std::deque<BitMask> changes_;  // changes_[i] belongs to round first_round_ + i
   int first_round_ = 0;
-  int next_round_ = 0;             // next round to be recorded
+  int next_round_ = 0;           // next round to be recorded
 };
 
 }  // namespace gluefl

@@ -1,0 +1,100 @@
+#include "net/client_directory.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gluefl {
+
+ClientDirectory::ClientDirectory(int64_t population, int horizon,
+                                 const NetworkEnv& env, const Rng& profile_rng,
+                                 const Rng& avail_rng, bool use_availability,
+                                 bool materialize, size_t cache_capacity)
+    : population_(population),
+      horizon_(horizon),
+      env_(env),
+      profile_rng_(profile_rng),
+      avail_rng_(avail_rng),
+      always_on_(!use_availability || env.availability >= 1.0),
+      materialize_(materialize),
+      profile_cache_(cache_capacity),
+      chain_cache_(cache_capacity) {
+  GLUEFL_CHECK(population > 0 && horizon > 0 && cache_capacity > 0);
+  if (!always_on_) {
+    // Same geometric-sojourn parameters as AvailabilityTrace: steady-state
+    // availability fixes the on/off balance, mean_on fixes the timescale.
+    const double mean_on = std::max(1.0, env.mean_on_rounds);
+    const double mean_off =
+        std::max(1.0, mean_on * (1.0 - env.availability) / env.availability);
+    p_off_ = 1.0 / mean_on;
+    p_on_ = 1.0 / mean_off;
+  }
+  if (materialize_) {
+    profiles_ = make_profiles(population_, env_, profile_rng_);
+    if (!always_on_) {
+      trace_ = std::make_unique<AvailabilityTrace>(
+          static_cast<int>(population_), horizon_, env_, avail_rng_);
+    }
+  }
+}
+
+ClientProfile ClientDirectory::profile(int64_t client) const {
+  GLUEFL_CHECK(client >= 0 && client < population_);
+  if (materialize_) return profiles_[static_cast<size_t>(client)];
+  if (const ClientProfile* hit = profile_cache_.find(client)) return *hit;
+  return profile_cache_.insert(client,
+                               derive_profile(client, env_, profile_rng_));
+}
+
+ClientDirectory::Chain ClientDirectory::start_chain(int64_t client) const {
+  Chain chain;
+  chain.rng = avail_rng_.fork(0xA7A1 + static_cast<uint64_t>(client));
+  chain.on = chain.rng.bernoulli(env_.availability);  // stationary start
+  chain.pos = 0;
+  return chain;
+}
+
+void ClientDirectory::advance(Chain& chain) const {
+  const double flip = chain.on ? p_off_ : p_on_;
+  if (chain.rng.bernoulli(flip)) chain.on = !chain.on;
+  ++chain.pos;
+}
+
+bool ClientDirectory::available(int64_t client, int round) const {
+  GLUEFL_CHECK(client >= 0 && client < population_);
+  if (always_on_) return true;
+  GLUEFL_CHECK(round >= 0 && round < horizon_);
+  if (materialize_) {
+    return trace_->available(static_cast<int>(client), round);
+  }
+  Chain* chain = chain_cache_.find(client);
+  if (chain == nullptr || chain->pos > round) {
+    // Miss, or an out-of-order query behind the cached position: replay
+    // the chain from its seed. Determinism is unaffected — the chain is a
+    // pure function of (avail stream, client).
+    chain = &chain_cache_.insert(client, start_chain(client));
+  }
+  while (chain->pos < round) advance(*chain);
+  return chain->on;
+}
+
+size_t ClientDirectory::resident_bytes() const {
+  size_t bytes = 0;
+  if (materialize_) {
+    bytes += profiles_.capacity() * sizeof(ClientProfile);
+    if (trace_ != nullptr) {
+      // One bit per client per round, stored in 64-bit words.
+      const size_t words = (static_cast<size_t>(population_) + 63) / 64;
+      bytes += static_cast<size_t>(horizon_) * words * sizeof(uint64_t);
+    }
+    return bytes;
+  }
+  // Hash node + list node bookkeeping dominates the payload for the small
+  // cached structs; 48 bytes is a reasonable per-entry overhead estimate.
+  constexpr size_t kEntryOverhead = 48;
+  bytes += profile_cache_.size() * (sizeof(ClientProfile) + kEntryOverhead);
+  bytes += chain_cache_.size() * (sizeof(Chain) + kEntryOverhead);
+  return bytes;
+}
+
+}  // namespace gluefl

@@ -1,0 +1,144 @@
+// Population-scale client state. A ClientDirectory answers "what is client
+// c's profile?" and "is client c online in round t?" for any virtual client
+// id in [0, population) without necessarily materializing per-client state
+// dense over the population.
+//
+// Two modes share one derivation contract:
+//   - materialized (dense): eager `make_profiles` vector plus a
+//     precomputed AvailabilityTrace, exactly the pre-directory layout.
+//   - lazy (virtual): profiles are rederived on demand via
+//     `derive_profile(c, env, profile_rng)` and availability is replayed
+//     per client from the same two-state Markov chain the trace uses
+//     (fork constant 0xA7A1 + c, stationary start, state-before-flip
+//     recording). A small LRU cache keeps the active cohort resident.
+//
+// Because both modes evaluate the same per-entity functions of the same
+// seeded streams, their answers are bit-identical; the lazy path only
+// changes memory, never results. Queries are not thread-safe: call them
+// from the coordinator thread (the engine's worker pool never touches
+// profiles or availability).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/availability.h"
+#include "net/client_profile.h"
+#include "net/environment.h"
+
+namespace gluefl {
+namespace detail {
+
+/// Minimal LRU map keyed by client id; capacity-bounded, O(1) hit/insert.
+template <typename V>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached value (touching it) or nullptr. The pointer stays
+  /// valid until the next insert.
+  V* find(int64_t key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second.pos);
+    return &it->second.value;
+  }
+
+  V& insert(int64_t key, V value) {
+    if (map_.size() >= capacity_ && capacity_ > 0) {
+      map_.erase(order_.back());
+      order_.pop_back();
+    }
+    order_.push_front(key);
+    auto [it, fresh] = map_.emplace(key, Entry{std::move(value), order_.begin()});
+    if (!fresh) {
+      order_.erase(it->second.pos);
+      order_.pop_front();
+      order_.push_front(key);
+      it->second = Entry{std::move(value), order_.begin()};
+    }
+    return it->second.value;
+  }
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  struct Entry {
+    V value;
+    std::list<int64_t>::iterator pos;
+  };
+  size_t capacity_;
+  std::list<int64_t> order_;
+  std::unordered_map<int64_t, Entry> map_;
+};
+
+}  // namespace detail
+
+class ClientDirectory {
+ public:
+  /// Default LRU capacity; comfortably covers an over-committed cohort
+  /// plus async in-flight clients while staying a few hundred KB.
+  static constexpr size_t kDefaultCacheCapacity = 4096;
+
+  /// `profile_rng` / `avail_rng` are the dedicated streams (the engine's
+  /// kStreamProfiles / kStreamAvailability forks); the directory forks
+  /// per entity from them and never advances them. When `use_availability`
+  /// is false or the environment is fully available, every client is
+  /// always online and no chain state is kept.
+  ClientDirectory(int64_t population, int horizon, const NetworkEnv& env,
+                  const Rng& profile_rng, const Rng& avail_rng,
+                  bool use_availability, bool materialize,
+                  size_t cache_capacity = kDefaultCacheCapacity);
+
+  int64_t population() const { return population_; }
+  bool always_on() const { return always_on_; }
+  bool materialized() const { return materialize_; }
+
+  /// By value: lazy-mode lookups may evict cache entries, so references
+  /// into the directory would not be stable.
+  ClientProfile profile(int64_t client) const;
+  bool available(int64_t client, int round) const;
+
+  /// Bytes of per-client state currently resident (profiles, availability
+  /// masks or chains, cache bookkeeping). Dense mode grows with the
+  /// population; lazy mode is bounded by the cache capacity.
+  size_t resident_bytes() const;
+
+ private:
+  // One lazily replayed availability chain. `on` is the online state for
+  // round `pos` (the flip draw that leaves round `pos` has not been
+  // consumed yet), matching AvailabilityTrace's record-then-flip order.
+  struct Chain {
+    Rng rng{0};
+    int pos = 0;
+    bool on = false;
+  };
+
+  Chain start_chain(int64_t client) const;
+  void advance(Chain& chain) const;
+
+  int64_t population_;
+  int horizon_;
+  NetworkEnv env_;
+  Rng profile_rng_;
+  Rng avail_rng_;
+  bool always_on_;
+  bool materialize_;
+  double p_off_ = 0.0;  // on -> off per-round flip probability
+  double p_on_ = 0.0;   // off -> on
+
+  // Materialized mode.
+  std::vector<ClientProfile> profiles_;
+  std::unique_ptr<AvailabilityTrace> trace_;
+
+  // Lazy mode.
+  mutable detail::LruCache<ClientProfile> profile_cache_;
+  mutable detail::LruCache<Chain> chain_cache_;
+};
+
+}  // namespace gluefl

@@ -6,16 +6,26 @@
 
 namespace gluefl {
 
-std::vector<ClientProfile> make_profiles(int num_clients,
-                                         const NetworkEnv& env, Rng& rng) {
+ClientProfile derive_profile(int64_t client, const NetworkEnv& env,
+                             const Rng& base) {
+  GLUEFL_CHECK(client >= 0);
+  Rng cr = base.fork(static_cast<uint64_t>(client));
+  ClientProfile p;
+  const LinkSpec link = env.bandwidth.sample(cr);
+  p.down_mbps = link.down_mbps;
+  p.up_mbps = link.up_mbps;
+  p.gflops =
+      std::max(0.05, cr.lognormal(env.gflops_mu_log, env.gflops_sigma_log));
+  return p;
+}
+
+std::vector<ClientProfile> make_profiles(int64_t num_clients,
+                                         const NetworkEnv& env,
+                                         const Rng& rng) {
   GLUEFL_CHECK(num_clients > 0);
   std::vector<ClientProfile> out(static_cast<size_t>(num_clients));
-  for (auto& p : out) {
-    const LinkSpec link = env.bandwidth.sample(rng);
-    p.down_mbps = link.down_mbps;
-    p.up_mbps = link.up_mbps;
-    p.gflops = std::max(0.05, rng.lognormal(env.gflops_mu_log,
-                                            env.gflops_sigma_log));
+  for (int64_t c = 0; c < num_clients; ++c) {
+    out[static_cast<size_t>(c)] = derive_profile(c, env, rng);
   }
   return out;
 }

@@ -1,8 +1,14 @@
 // Per-client system profile: access link and device speed, drawn once per
 // client from the environment's distributions (FedScale keeps these fixed
 // per device across the trace; so do we).
+//
+// Profiles are derived per entity: client `c`'s profile is a pure function
+// of the profile stream Rng and `c` (via `fork(c)`), so any client's
+// profile can be recomputed on demand without materializing the rest of
+// the population. `make_profiles` is the eager form used by dense mode.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
@@ -16,7 +22,14 @@ struct ClientProfile {
   double gflops = 0.0;  // effective device training throughput
 };
 
-std::vector<ClientProfile> make_profiles(int num_clients,
-                                         const NetworkEnv& env, Rng& rng);
+/// Derives client `client`'s profile from the profile stream `base`
+/// without advancing it. Both the dense and virtual population paths go
+/// through this, which is what makes them bit-identical.
+ClientProfile derive_profile(int64_t client, const NetworkEnv& env,
+                             const Rng& base);
+
+std::vector<ClientProfile> make_profiles(int64_t num_clients,
+                                         const NetworkEnv& env,
+                                         const Rng& rng);
 
 }  // namespace gluefl

@@ -10,13 +10,46 @@
 // the sticky-group rebalance depend on where a participant was drawn from.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
 
 namespace gluefl {
+
+/// Populations up to this size are sampled with exact dense scans over the
+/// id space (the historical behaviour; covers every dataset preset).
+/// Larger — virtual — populations switch to rejection sampling over the id
+/// space so per-round cost stays independent of the population. The gate
+/// keys on the population alone, never on the mode, so dense and virtual
+/// runs of the same population draw identically.
+inline constexpr int64_t kDenseScanThreshold = 65536;
+
+/// Draws up to `want` distinct clients from [0, num_clients) satisfying
+/// `eligible` (null = everyone), by rejection over the id space. With
+/// want << num_clients collisions are rare and the expected cost is
+/// O(want / availability); the attempt cap bounds the worst case and makes
+/// a shortfall (heavily unavailable population) terminate instead of spin.
+inline std::vector<int> sample_virtual(
+    int64_t num_clients, int want, Rng& rng,
+    const std::function<bool(int)>& eligible) {
+  std::vector<int> out;
+  if (want <= 0) return out;
+  out.reserve(static_cast<size_t>(want));
+  std::unordered_set<int> seen;
+  const int64_t max_attempts = int64_t{64} * want + 256;
+  for (int64_t a = 0;
+       a < max_attempts && out.size() < static_cast<size_t>(want); ++a) {
+    const int c = rng.uniform_int(0, static_cast<int>(num_clients) - 1);
+    if (!seen.insert(c).second) continue;
+    if (eligible && !eligible(c)) continue;
+    out.push_back(c);
+  }
+  return out;
+}
 
 /// Invitation for one round, split by group. For uniform samplers the
 /// sticky list is empty and need_sticky == 0.

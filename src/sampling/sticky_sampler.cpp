@@ -8,16 +8,25 @@
 
 namespace gluefl {
 
-StickySampler::StickySampler(int num_clients, StickyConfig cfg, Rng& init_rng)
+StickySampler::StickySampler(int64_t num_clients, StickyConfig cfg,
+                             Rng& init_rng)
     : num_clients_(num_clients), cfg_(cfg) {
   GLUEFL_CHECK(num_clients > 0);
   GLUEFL_CHECK(cfg.group_size > 0 && cfg.group_size <= num_clients);
   GLUEFL_CHECK(cfg.sticky_per_round > 0 &&
                cfg.sticky_per_round <= cfg.group_size);
   // The sticky group starts as a uniformly random S-subset (§3.1).
-  const auto init =
-      init_rng.sample_without_replacement(num_clients, cfg.group_size);
-  sticky_.insert(init.begin(), init.end());
+  if (num_clients_ > kDenseScanThreshold) {
+    const auto init =
+        sample_virtual(num_clients_, cfg.group_size, init_rng, nullptr);
+    GLUEFL_CHECK_MSG(static_cast<int>(init.size()) == cfg.group_size,
+                     "sticky-group initialization fell short of S");
+    sticky_.insert(init.begin(), init.end());
+  } else {
+    const auto init = init_rng.sample_without_replacement(
+        static_cast<int>(num_clients), cfg.group_size);
+    sticky_.insert(init.begin(), init.end());
+  }
 }
 
 CandidateSet StickySampler::invite(int /*round*/, int k, double overcommit,
@@ -26,20 +35,33 @@ CandidateSet StickySampler::invite(int /*round*/, int k, double overcommit,
   GLUEFL_CHECK(cfg_.sticky_per_round <= k);
   GLUEFL_CHECK(overcommit >= 1.0);
 
+  const bool virtual_scan = num_clients_ > kDenseScanThreshold;
   std::vector<int> sticky_pool;
   std::vector<int> other_pool;
   sticky_pool.reserve(sticky_.size());
-  other_pool.reserve(static_cast<size_t>(num_clients_));
-  for (int c = 0; c < num_clients_; ++c) {
-    if (available && !available(c)) continue;
-    if (sticky_.count(c) != 0) {
-      sticky_pool.push_back(c);
-    } else {
-      other_pool.push_back(c);
+  if (virtual_scan) {
+    // The sticky group is small: enumerate it exactly (sorted, so draws
+    // depend only on the RNG, matching the dense scan's id-order pools).
+    sticky_pool = sticky_members();
+    if (available) {
+      sticky_pool.erase(
+          std::remove_if(sticky_pool.begin(), sticky_pool.end(),
+                         [&](int c) { return !available(c); }),
+          sticky_pool.end());
     }
+  } else {
+    other_pool.reserve(static_cast<size_t>(num_clients_));
+    for (int c = 0; c < num_clients_; ++c) {
+      if (available && !available(c)) continue;
+      if (sticky_.count(c) != 0) {
+        sticky_pool.push_back(c);
+      } else {
+        other_pool.push_back(c);
+      }
+    }
+    // Iteration order of unordered_set must not leak into sampling: pools
+    // are built in client-id order above, so draws depend only on the RNG.
   }
-  // Iteration order of unordered_set must not leak into sampling: pools are
-  // built in client-id order above, so draws depend only on the RNG.
 
   const int total_extra =
       static_cast<int>(std::ceil(overcommit * k)) - k;
@@ -62,10 +84,20 @@ CandidateSet StickySampler::invite(int /*round*/, int k, double overcommit,
     want_other += want_sticky - static_cast<int>(sticky_pool.size());
     want_sticky = static_cast<int>(sticky_pool.size());
   }
-  want_other = std::min<int>(want_other, static_cast<int>(other_pool.size()));
 
   out.sticky = rng.sample_without_replacement(sticky_pool, want_sticky);
-  out.nonsticky = rng.sample_without_replacement(other_pool, want_other);
+  if (virtual_scan) {
+    // Complement draw by rejection: non-members that are available. No
+    // pool-size clamp — the attempt cap bounds a shortfall instead.
+    out.nonsticky = sample_virtual(
+        num_clients_, want_other, rng, [&](int c) {
+          return sticky_.count(c) == 0 && (!available || available(c));
+        });
+  } else {
+    want_other =
+        std::min<int>(want_other, static_cast<int>(other_pool.size()));
+    out.nonsticky = rng.sample_without_replacement(other_pool, want_other);
+  }
   out.need_sticky = std::min(out.need_sticky, want_sticky);
   return out;
 }

@@ -8,8 +8,15 @@
 // Over-commitment extras are split between the groups according to
 // `oc_sticky_fraction` (Table 3a's "OC strategy"); a negative value selects
 // the paper's default proportional split C/K.
+//
+// The sticky group itself is tiny (S << N), so only the complement draw
+// ever touches the population: beyond kDenseScanThreshold it switches from
+// a dense id-space scan to rejection sampling, keeping per-round cost
+// independent of the population while the sticky-cohort semantics stay
+// exact.
 #pragma once
 
+#include <cstdint>
 #include <unordered_set>
 
 #include "sampling/sampler.h"
@@ -31,7 +38,7 @@ struct StickyConfig {
 
 class StickySampler final : public Sampler {
  public:
-  StickySampler(int num_clients, StickyConfig cfg, Rng& init_rng);
+  StickySampler(int64_t num_clients, StickyConfig cfg, Rng& init_rng);
 
   std::string name() const override { return "sticky"; }
   CandidateSet invite(int round, int k, double overcommit, Rng& rng,
@@ -53,7 +60,7 @@ class StickySampler final : public Sampler {
   void restore_state(ckpt::Reader& r);
 
  private:
-  int num_clients_;
+  int64_t num_clients_;
   StickyConfig cfg_;
   std::unordered_set<int> sticky_;
 };

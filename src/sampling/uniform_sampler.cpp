@@ -6,7 +6,8 @@
 
 namespace gluefl {
 
-UniformSampler::UniformSampler(int num_clients) : num_clients_(num_clients) {
+UniformSampler::UniformSampler(int64_t num_clients)
+    : num_clients_(num_clients) {
   GLUEFL_CHECK(num_clients > 0);
 }
 
@@ -14,16 +15,20 @@ CandidateSet UniformSampler::invite(int /*round*/, int k, double overcommit,
                                     Rng& rng, const AvailabilityFn& available) {
   GLUEFL_CHECK(k > 0 && k <= num_clients_);
   GLUEFL_CHECK(overcommit >= 1.0);
+  const int want = static_cast<int>(std::ceil(overcommit * k));
+  CandidateSet out;
+  out.need_nonsticky = k;
+  if (num_clients_ > kDenseScanThreshold) {
+    out.nonsticky = sample_virtual(num_clients_, want, rng, available);
+    return out;
+  }
   std::vector<int> pool;
   pool.reserve(static_cast<size_t>(num_clients_));
   for (int c = 0; c < num_clients_; ++c) {
     if (!available || available(c)) pool.push_back(c);
   }
-  const int want = static_cast<int>(std::ceil(overcommit * k));
   const int n = std::min<int>(want, static_cast<int>(pool.size()));
-  CandidateSet out;
   out.nonsticky = rng.sample_without_replacement(pool, n);
-  out.need_nonsticky = k;
   return out;
 }
 

@@ -1,20 +1,22 @@
 // FedAvg's uniform-without-replacement client sampling.
 #pragma once
 
+#include <cstdint>
+
 #include "sampling/sampler.h"
 
 namespace gluefl {
 
 class UniformSampler final : public Sampler {
  public:
-  explicit UniformSampler(int num_clients);
+  explicit UniformSampler(int64_t num_clients);
 
   std::string name() const override { return "uniform"; }
   CandidateSet invite(int round, int k, double overcommit, Rng& rng,
                       const AvailabilityFn& available) override;
 
  private:
-  int num_clients_;
+  int64_t num_clients_;
 };
 
 }  // namespace gluefl

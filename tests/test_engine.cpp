@@ -121,7 +121,7 @@ TEST(Engine, ParticipationPicksFastestClients) {
   const double flops = eng.flops_per_client_round();
   std::vector<std::pair<double, int>> finish;
   for (int c = 0; c < 6; ++c) {
-    const auto& p = eng.profiles()[static_cast<size_t>(c)];
+    const auto p = eng.profile(c);
     finish.emplace_back(transfer_seconds(payload, p.down_mbps) +
                             flops / (p.gflops * 1e9) +
                             transfer_seconds(payload, p.up_mbps),

@@ -1,0 +1,497 @@
+// Virtual-population layer: ClientDirectory lazy/materialized equivalence,
+// virtual-ID-space sampling, sparse SyncTracker serialization, and
+// dense <-> virtual bit-equivalence of whole runs (every strategy, sync
+// and async, across seeds and thread counts).
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/io.h"
+#include "cli/cli.h"
+#include "fl/async_engine.h"
+#include "fl/engine.h"
+#include "fl/sync_tracker.h"
+#include "net/availability.h"
+#include "net/client_directory.h"
+#include "net/client_profile.h"
+#include "net/environment.h"
+#include "sampling/sampler.h"
+#include "sampling/sticky_sampler.h"
+#include "sampling/uniform_sampler.h"
+#include "strategies/apf.h"
+#include "strategies/async_fedbuff.h"
+#include "strategies/fedavg.h"
+#include "strategies/gluefl.h"
+#include "strategies/stc.h"
+#include "test_util.h"
+
+namespace gluefl {
+namespace {
+
+using testing::tiny_proxy;
+using testing::tiny_run_config;
+using testing::tiny_spec;
+using testing::tiny_train_config;
+
+// --------------------------------------------------------- ClientDirectory
+
+ClientDirectory make_directory(int64_t population, int horizon, bool lazy,
+                               size_t cache = 8, bool use_availability = true) {
+  const Rng master(99);
+  return ClientDirectory(population, horizon, make_edge_env(),
+                         master.fork(0x01), master.fork(0x02),
+                         use_availability, /*materialize=*/!lazy, cache);
+}
+
+TEST(ClientDirectory, LazyProfilesMatchMaterialized) {
+  const auto dense = make_directory(300, 10, /*lazy=*/false);
+  const auto lazy = make_directory(300, 10, /*lazy=*/true, /*cache=*/8);
+  // Scrambled order with revisits: every lookup must re-derive the same
+  // values even after the tiny cache evicted the entry.
+  Rng order(5);
+  for (int i = 0; i < 600; ++i) {
+    const int c = order.uniform_int(0, 299);
+    const ClientProfile a = dense.profile(c);
+    const ClientProfile b = lazy.profile(c);
+    EXPECT_DOUBLE_EQ(a.down_mbps, b.down_mbps) << "client " << c;
+    EXPECT_DOUBLE_EQ(a.up_mbps, b.up_mbps) << "client " << c;
+    EXPECT_DOUBLE_EQ(a.gflops, b.gflops) << "client " << c;
+  }
+}
+
+TEST(ClientDirectory, LazyAvailabilityMatchesTrace) {
+  const int pop = 200, horizon = 12;
+  const auto dense = make_directory(pop, horizon, /*lazy=*/false);
+  const auto lazy = make_directory(pop, horizon, /*lazy=*/true, /*cache=*/4);
+  ASSERT_FALSE(dense.always_on());  // edge env churns (80% availability)
+  // Forward, backward and random-order queries: a backward query forces a
+  // chain restart, a forward one advances the cached chain.
+  for (int c = 0; c < pop; c += 7) {
+    for (int r = 0; r < horizon; ++r) {
+      EXPECT_EQ(dense.available(c, r), lazy.available(c, r))
+          << "fwd c=" << c << " r=" << r;
+    }
+    for (int r = horizon - 1; r >= 0; --r) {
+      EXPECT_EQ(dense.available(c, r), lazy.available(c, r))
+          << "bwd c=" << c << " r=" << r;
+    }
+  }
+  Rng order(11);
+  for (int i = 0; i < 500; ++i) {
+    const int c = order.uniform_int(0, pop - 1);
+    const int r = order.uniform_int(0, horizon - 1);
+    EXPECT_EQ(dense.available(c, r), lazy.available(c, r))
+        << "rand c=" << c << " r=" << r;
+  }
+}
+
+TEST(ClientDirectory, AlwaysOnWhenAvailabilityDisabled) {
+  const auto lazy =
+      make_directory(100, 5, /*lazy=*/true, 8, /*use_availability=*/false);
+  EXPECT_TRUE(lazy.always_on());
+  for (int c = 0; c < 100; c += 13) {
+    EXPECT_TRUE(lazy.available(c, 3));
+  }
+}
+
+TEST(ClientDirectory, LazyResidentBytesBoundedAtMillionClients) {
+  const auto lazy =
+      make_directory(1000000, 50, /*lazy=*/true, /*cache=*/1024);
+  Rng order(3);
+  for (int i = 0; i < 5000; ++i) {
+    const int c = order.uniform_int(0, 999999);
+    (void)lazy.profile(c);
+    (void)lazy.available(c, i % 50);
+  }
+  // Bounded by the cache capacity, not the population: two 1024-entry
+  // caches stay well under 1 MB where dense state would be ~30 MB.
+  EXPECT_LT(lazy.resident_bytes(), static_cast<size_t>(1) << 20);
+}
+
+// ----------------------------------------------------------- samplers
+
+TEST(VirtualSampling, SampleVirtualDrawsUniqueEligibleIds) {
+  Rng rng(17);
+  const auto picked = sample_virtual(1000000, 50, rng,
+                                     [](int c) { return c % 3 != 0; });
+  ASSERT_EQ(picked.size(), 50u);
+  std::set<int> seen;
+  for (const int c : picked) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 1000000);
+    EXPECT_NE(c % 3, 0);
+    EXPECT_TRUE(seen.insert(c).second) << "duplicate id " << c;
+  }
+}
+
+TEST(VirtualSampling, SampleVirtualIsDeterministic) {
+  Rng a(123), b(123);
+  EXPECT_EQ(sample_virtual(500000, 30, a, nullptr),
+            sample_virtual(500000, 30, b, nullptr));
+}
+
+TEST(VirtualSampling, UniformSamplerUsesVirtualPathAboveThreshold) {
+  const int64_t pop = 200000;  // > kDenseScanThreshold
+  UniformSampler s(pop);
+  Rng rng(7);
+  const CandidateSet cand = s.invite(0, 40, 1.3, rng, nullptr);
+  EXPECT_EQ(cand.need_nonsticky, 40);
+  ASSERT_EQ(cand.nonsticky.size(), 52u);  // ceil(1.3 * 40)
+  std::set<int> seen(cand.nonsticky.begin(), cand.nonsticky.end());
+  EXPECT_EQ(seen.size(), cand.nonsticky.size());
+  for (const int c : cand.nonsticky) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(static_cast<int64_t>(c), pop);
+  }
+}
+
+TEST(VirtualSampling, StickySamplerKeepsSemanticsOverVirtualIds) {
+  const int64_t pop = 200000;
+  StickyConfig cfg;
+  cfg.group_size = 60;
+  cfg.sticky_per_round = 18;
+  Rng init(42);
+  StickySampler s(pop, cfg, init);
+  EXPECT_EQ(s.sticky_members().size(), 60u);
+
+  Rng rng(9);
+  const CandidateSet cand = s.invite(0, 24, 1.25, rng, nullptr);
+  EXPECT_EQ(cand.need_sticky, 18);
+  // Sticky invitees come from the group, non-sticky from its complement.
+  for (const int c : cand.sticky) {
+    EXPECT_TRUE(s.in_sticky_group(c)) << c;
+  }
+  std::set<int> seen;
+  for (const int c : cand.nonsticky) {
+    EXPECT_FALSE(s.in_sticky_group(c)) << c;
+    EXPECT_TRUE(seen.insert(c).second) << "duplicate id " << c;
+  }
+}
+
+// -------------------------------------------------- sparse SyncTracker
+
+TEST(SparseSyncTracker, ParticipantsTrackOnlyMarkedClients) {
+  SyncTracker t(1000000, 64);
+  EXPECT_EQ(t.participants(), 0u);
+  t.mark_synced(3, 0);
+  t.mark_synced(999999, 0);
+  t.mark_synced(512345, 1);
+  t.mark_synced(3, 1);  // re-mark: no new entry
+  EXPECT_EQ(t.participants(), 3u);
+  EXPECT_EQ(t.last_synced_round(3), 1);
+  EXPECT_EQ(t.last_synced_round(999999), 0);
+  EXPECT_EQ(t.last_synced_round(7), -1);  // never synced
+  // O(participants), nowhere near a dense million-entry array.
+  EXPECT_LT(t.resident_bytes(), static_cast<size_t>(64) * 1024);
+}
+
+TEST(SparseSyncTracker, SaveRestoreRoundTripsSparseMap) {
+  SyncTracker t(1000, 32);
+  BitMask none(32);
+  for (int r = 0; r < 4; ++r) t.record_round_changes(r, none);
+  t.mark_synced(7, 1);
+  t.mark_synced(900, 3);
+  t.mark_synced(0, 2);
+
+  ckpt::Writer w;
+  t.save_state(w);
+  SyncTracker back(1000, 32);
+  ckpt::Reader r(w.buffer().data(), w.buffer().size());
+  back.restore_state(r);
+  EXPECT_EQ(back.participants(), 3u);
+  EXPECT_EQ(back.last_synced_round(7), 1);
+  EXPECT_EQ(back.last_synced_round(900), 3);
+  EXPECT_EQ(back.last_synced_round(0), 2);
+  EXPECT_EQ(back.last_synced_round(500), -1);
+}
+
+TEST(SparseSyncTracker, RestoreRejectsUnsortedIds) {
+  // Hand-built section with entries out of id order: the sorted layout is
+  // the byte-identity contract, so decoders must refuse it loudly.
+  ckpt::Writer w;
+  w.varint(10);  // num_clients
+  w.varint(4);   // dim
+  w.varint(2);   // entries
+  w.varint(5);   // id 5 ...
+  w.varint(1);   // last_sync 0
+  w.varint(3);   // ... then id 3: not ascending
+  w.varint(1);
+  w.varint(0);  // first_round
+  w.varint(0);  // next_round
+  w.varint(0);  // retained masks
+  SyncTracker t(10, 4);
+  ckpt::Reader r(w.buffer().data(), w.buffer().size());
+  EXPECT_THROW(t.restore_state(r), ckpt::CkptError);
+}
+
+// ------------------------------------- dense <-> virtual bit-equivalence
+
+SimEngine make_mode_engine(PopulationMode mode, uint64_t seed, int threads,
+                           int64_t population = 0) {
+  RunConfig rc = tiny_run_config(/*rounds=*/4, /*k=*/6, seed);
+  rc.eval_every = 2;
+  rc.num_threads = threads;
+  rc.use_availability = true;  // exercise the lazy availability chains
+  rc.population = population;
+  rc.population_mode = mode;
+  return SimEngine(make_synthetic_dataset(tiny_spec()), tiny_proxy(),
+                   make_edge_env(), tiny_train_config(), rc);
+}
+
+std::unique_ptr<Strategy> make_named_strategy(const std::string& name) {
+  if (name == "fedavg") return std::make_unique<FedAvgStrategy>();
+  if (name == "stc") {
+    StcConfig c;
+    c.q = 0.25;
+    return std::make_unique<StcStrategy>(c);
+  }
+  if (name == "apf") {
+    ApfConfig c;
+    c.check_every = 2;
+    c.base_freeze = 2;
+    c.max_freeze = 8;
+    return std::make_unique<ApfStrategy>(c);
+  }
+  GlueFlConfig g;
+  g.q = 0.3;
+  g.q_shr = 0.1;
+  g.regen_every = 3;
+  g.sticky_group_size = 20;
+  g.sticky_per_round = 3;
+  return std::make_unique<GlueFlStrategy>(g);
+}
+
+bool same_bits(double a, double b) {
+  uint64_t x, y;
+  std::memcpy(&x, &a, 8);
+  std::memcpy(&y, &b, 8);
+  return x == y;
+}
+
+void expect_identical_runs(const RunResult& ref, const RunResult& res,
+                           const std::string& label) {
+  ASSERT_EQ(ref.rounds.size(), res.rounds.size()) << label;
+  for (size_t i = 0; i < ref.rounds.size(); ++i) {
+    const RoundRecord& a = ref.rounds[i];
+    const RoundRecord& b = res.rounds[i];
+    EXPECT_EQ(a.round, b.round) << label << " @" << i;
+    EXPECT_TRUE(same_bits(a.down_bytes, b.down_bytes)) << label << " @" << i;
+    EXPECT_TRUE(same_bits(a.up_bytes, b.up_bytes)) << label << " @" << i;
+    EXPECT_TRUE(same_bits(a.wall_time_s, b.wall_time_s)) << label << " @" << i;
+    EXPECT_TRUE(same_bits(a.train_loss, b.train_loss)) << label << " @" << i;
+    EXPECT_TRUE(same_bits(a.test_acc, b.test_acc)) << label << " @" << i;
+    EXPECT_EQ(a.num_invited, b.num_invited) << label << " @" << i;
+    EXPECT_EQ(a.num_included, b.num_included) << label << " @" << i;
+    EXPECT_TRUE(same_bits(a.mean_staleness, b.mean_staleness))
+        << label << " @" << i;
+    EXPECT_TRUE(same_bits(a.changed_frac, b.changed_frac)) << label << " @" << i;
+  }
+}
+
+TEST(PopulationModes, SyncStrategiesBitIdenticalAcrossModes) {
+  for (const char* name : {"fedavg", "stc", "apf", "gluefl"}) {
+    for (const uint64_t seed : {uint64_t{7}, uint64_t{21}}) {
+      for (const int threads : {1, 4, 8}) {
+        const std::string label = std::string(name) +
+                                  " seed=" + std::to_string(seed) +
+                                  " threads=" + std::to_string(threads);
+        SimEngine dense = make_mode_engine(PopulationMode::kDense, seed,
+                                           threads);
+        SimEngine lazy = make_mode_engine(PopulationMode::kVirtual, seed,
+                                          threads);
+        auto ds = make_named_strategy(name);
+        auto vs = make_named_strategy(name);
+        const RunResult a = dense.run(*ds);
+        const RunResult b = lazy.run(*vs);
+        expect_identical_runs(a, b, label);
+        EXPECT_EQ(dense.params(), lazy.params()) << label;
+        EXPECT_EQ(dense.stats(), lazy.stats()) << label;
+      }
+    }
+  }
+}
+
+TEST(PopulationModes, AsyncFedBuffBitIdenticalAcrossModes) {
+  for (const uint64_t seed : {uint64_t{7}, uint64_t{21}}) {
+    for (const int threads : {1, 4, 8}) {
+      const std::string label = "async seed=" + std::to_string(seed) +
+                                " threads=" + std::to_string(threads);
+      SimEngine dense = make_mode_engine(PopulationMode::kDense, seed,
+                                         threads);
+      SimEngine lazy = make_mode_engine(PopulationMode::kVirtual, seed,
+                                        threads);
+      AsyncConfig acfg;
+      acfg.buffer_size = 3;
+      acfg.concurrency = 9;
+      AsyncSimEngine da(dense, acfg);
+      AsyncSimEngine va(lazy, acfg);
+      AsyncFedBuffStrategy ds{AsyncFedBuffConfig{}};
+      AsyncFedBuffStrategy vs{AsyncFedBuffConfig{}};
+      const RunResult a = da.run(ds);
+      const RunResult b = va.run(vs);
+      expect_identical_runs(a, b, label);
+      EXPECT_EQ(dense.params(), lazy.params()) << label;
+    }
+  }
+}
+
+TEST(PopulationModes, OversizedPopulationBitIdenticalAcrossModes) {
+  // Population larger than the dataset: virtual ids wrap onto shards and
+  // weights rescale; both modes must still agree bit-for-bit.
+  SimEngine dense =
+      make_mode_engine(PopulationMode::kDense, 7, 1, /*population=*/500);
+  SimEngine lazy =
+      make_mode_engine(PopulationMode::kVirtual, 7, 1, /*population=*/500);
+  EXPECT_EQ(dense.num_clients(), 500);
+  auto ds = make_named_strategy("fedavg");
+  auto vs = make_named_strategy("fedavg");
+  const RunResult a = dense.run(*ds);
+  const RunResult b = lazy.run(*vs);
+  expect_identical_runs(a, b, "population=500");
+  EXPECT_EQ(dense.params(), lazy.params());
+}
+
+TEST(PopulationModes, MemoryEstimateVirtualBelowDenseAtScale) {
+  SimEngine dense =
+      make_mode_engine(PopulationMode::kDense, 7, 1, /*population=*/1000000);
+  SimEngine lazy =
+      make_mode_engine(PopulationMode::kVirtual, 7, 1, /*population=*/1000000);
+  EXPECT_LT(lazy.memory_estimate_bytes(), dense.memory_estimate_bytes());
+}
+
+}  // namespace
+}  // namespace gluefl
+
+// ------------------------------------------------------------- CLI layer
+
+namespace gluefl::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> argv(std::initializer_list<const char*> parts) {
+  return std::vector<std::string>(parts.begin(), parts.end());
+}
+
+struct CliResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult invoke(std::initializer_list<const char*> parts) {
+  std::ostringstream out, err;
+  const int code = run_cli(argv(parts), out, err);
+  return {code, out.str(), err.str()};
+}
+
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const std::string& name) : path(name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() { fs::remove_all(path); }
+  std::string str() const { return path.string(); }
+};
+
+TEST(CliPopulation, RejectsNonPositiveAndOversizedPopulations) {
+  for (const char* bad : {"0", "-3", "200000000"}) {
+    const CliResult r = invoke({"run", "--rounds", "1", "--scale", "0.02",
+                                "--population", bad});
+    EXPECT_EQ(r.code, 2) << bad;
+    EXPECT_NE(r.err.find("--population"), std::string::npos) << r.err;
+    // One clean line, no partial run output.
+    EXPECT_EQ(std::count(r.err.begin(), r.err.end(), '\n'), 1) << r.err;
+  }
+}
+
+TEST(CliPopulation, RejectsUnknownPopulationMode) {
+  const CliResult r = invoke({"run", "--rounds", "1", "--scale", "0.02",
+                              "--population-mode", "sparse"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("population mode"), std::string::npos) << r.err;
+}
+
+TEST(CliPopulation, RejectsPopulationSmallerThanCohort) {
+  // femnist at scale 0.25 has K=30; a 10-client population cannot seat it.
+  const CliResult r = invoke({"run", "--rounds", "1", "--population", "10"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("smaller than the preset cohort"), std::string::npos)
+      << r.err;
+}
+
+TEST(CliPopulation, VirtualRunEchoesModeAndRssEstimate) {
+  const CliResult r =
+      invoke({"run", "--strategy", "fedavg", "--rounds", "1", "--scale",
+              "0.02", "--population", "50000", "--population-mode",
+              "virtual"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("(N=50000 virtual"), std::string::npos);
+  EXPECT_NE(r.out.find("\"population\": 50000"), std::string::npos);
+  EXPECT_NE(r.out.find("\"population_mode\": \"virtual\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"peak_rss_est_mb\": "), std::string::npos);
+}
+
+TEST(CliPopulation, DenseAndVirtualRunsMatchThroughCli) {
+  const CliResult dense =
+      invoke({"run", "--strategy", "gluefl", "--rounds", "2", "--scale",
+              "0.02", "--eval-every", "1", "--population-mode", "dense"});
+  ASSERT_EQ(dense.code, 0) << dense.err;
+  const CliResult lazy =
+      invoke({"run", "--strategy", "gluefl", "--rounds", "2", "--scale",
+              "0.02", "--eval-every", "1", "--population-mode", "virtual"});
+  ASSERT_EQ(lazy.code, 0) << lazy.err;
+  // The tails (best accuracy, totals, trajectory) must be byte-identical;
+  // only the echoed population_mode may differ.
+  const size_t da = dense.out.find("\"best_accuracy\"");
+  const size_t la = lazy.out.find("\"best_accuracy\"");
+  ASSERT_NE(da, std::string::npos);
+  ASSERT_NE(la, std::string::npos);
+  EXPECT_EQ(dense.out.substr(da), lazy.out.substr(la));
+}
+
+TEST(CliPopulation, VirtualCrashThenResumeIsByteExact) {
+  ScratchDir dir("cli_population_resume");
+  const std::string full_json = (dir.path / "full.json").string();
+  const std::string resumed_json = (dir.path / "resumed.json").string();
+
+  const CliResult full =
+      invoke({"run", "--strategy", "gluefl", "--rounds", "4", "--scale",
+              "0.02", "--eval-every", "1", "--population", "300",
+              "--population-mode", "virtual", "--json", full_json.c_str()});
+  ASSERT_EQ(full.code, 0) << full.err;
+
+  const CliResult crashed =
+      invoke({"run", "--strategy", "gluefl", "--rounds", "4", "--scale",
+              "0.02", "--eval-every", "1", "--population", "300",
+              "--population-mode", "virtual", "--checkpoint-every", "2",
+              "--checkpoint-dir", dir.str().c_str(), "--crash-at-round",
+              "3"});
+  EXPECT_EQ(crashed.code, 3);
+  const std::string ckpt = (dir.path / "ckpt-00000002.gfc").string();
+  ASSERT_TRUE(fs::exists(ckpt));
+
+  const CliResult resumed =
+      invoke({"resume", ckpt.c_str(), "--json", resumed_json.c_str()});
+  ASSERT_EQ(resumed.code, 0) << resumed.err;
+
+  std::ifstream a(full_json), b(resumed_json);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  ASSERT_FALSE(sa.str().empty());
+  EXPECT_EQ(sa.str(), sb.str());  // byte-identical summary incl. RSS echo
+}
+
+}  // namespace
+}  // namespace gluefl::cli
