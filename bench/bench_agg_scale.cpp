@@ -85,6 +85,29 @@ std::vector<uint32_t> random_support_excluding(
   return idx;
 }
 
+/// Shared mask built from contiguous position runs — the shape a bitmap/RLE
+/// cohort mask decodes to when layers are selected wholesale (DESIGN.md
+/// §6b). Runs of kRunLen positions are spread evenly across the model with
+/// a little jittered placement so shard boundaries still cut through runs.
+std::vector<uint32_t> run_structured_support(size_t dim, size_t k, Rng& rng) {
+  constexpr size_t kRunLen = 256;
+  std::vector<uint32_t> idx;
+  idx.reserve(k);
+  const size_t nruns = std::max<size_t>(1, k / kRunLen);
+  const size_t stride = dim / nruns;
+  for (size_t r = 0; r < nruns && idx.size() < k; ++r) {
+    const size_t len = std::min(kRunLen, k - idx.size());
+    const size_t slack = stride > len ? stride - len : 0;
+    const size_t start =
+        r * stride +
+        static_cast<size_t>(rng.uniform() * static_cast<double>(slack));
+    for (size_t j = 0; j < len && start + j < dim; ++j) {
+      idx.push_back(static_cast<uint32_t>(start + j));
+    }
+  }
+  return idx;
+}
+
 struct Pool {
   std::vector<SparseDelta> sparse;   // shared-mask + unique, GlueFL-shaped
   std::vector<SparseDelta> dense;    // same updates, materialized densely
@@ -92,12 +115,13 @@ struct Pool {
   size_t dense_bytes_total = 0;      // resident update bytes, dense rep
 };
 
-Pool make_pool(size_t dim, size_t window, Rng& rng) {
+Pool make_pool(size_t dim, size_t window, Rng& rng, bool run_mask) {
   const size_t k_shr = static_cast<size_t>(kQShr * static_cast<double>(dim));
   const size_t k_uni =
       static_cast<size_t>((kQ - kQShr) * static_cast<double>(dim));
-  const auto shared_idx =
-      SparseDelta::make_support(random_support(dim, k_shr, rng));
+  const auto shared_idx = SparseDelta::make_support(
+      run_mask ? run_structured_support(dim, k_shr, rng)
+               : random_support(dim, k_shr, rng));
   std::vector<char> in_mask(dim, 0);
   for (const uint32_t j : *shared_idx) in_mask[j] = 1;
   const size_t complement = dim - shared_idx->size();
@@ -180,11 +204,12 @@ struct ArmResult {
 };
 
 ArmResult run_arm(const std::string& label, size_t dim, size_t updates,
-                  int shards, int threads, uint64_t seed) {
+                  int shards, int threads, uint64_t seed,
+                  bool run_mask = false) {
   const size_t window = std::min<size_t>(updates, 200);
   const size_t waves = (updates + window - 1) / window;
   Rng rng(seed);
-  Pool pool = make_pool(dim, window, rng);
+  Pool pool = make_pool(dim, window, rng, run_mask);
 
   const DenseAggregator dense_agg;
   const ShardedAggregator sharded_agg(shards, threads);
@@ -260,6 +285,13 @@ int main() {
                          shards, threads, /*seed=*/42));
   arms.push_back(run_arm("100x population round", dim, pop_updates, shards,
                          threads, /*seed=*/43));
+  // Same K=100 round but with a run-structured shared mask (contiguous
+  // position blocks, as decoded from bitmap/RLE cohort masks): exercises
+  // the aggregator's positional-delta fast path, where gather/scatter
+  // collapses to unit-stride accumulation.
+  arms.push_back(run_arm("openimage round, run-structured mask", dim,
+                         k_openimage, shards, threads, /*seed=*/44,
+                         /*run_mask=*/true));
 
   TablePrinter t;
   t.set_headers({"arm", "dim", "updates", "dense (ms)", "sharded (ms)",

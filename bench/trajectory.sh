@@ -5,16 +5,17 @@
 #
 #   sh bench/trajectory.sh [OUT_JSON] [BUILD_DIR]
 #
-# Defaults: OUT_JSON=BENCH_6.json, BUILD_DIR=build. Honors the benches'
+# Defaults: OUT_JSON=BENCH_7.json, BUILD_DIR=build. Honors the benches'
 # environment knobs (GLUEFL_ROUNDS, GLUEFL_FULL, GLUEFL_AGG_*,
-# GLUEFL_WIRE_DIM, GLUEFL_CKPT_SCALE_PCT, GLUEFL_POP_MAX); CI passes
-# GLUEFL_ROUNDS=1 for a fast smoke, the committed repo-root BENCH_6.json
-# is produced with the defaults (the wire bench's default dimension and
-# the checkpoint bench's default population are already OpenImage scale;
-# the population bench climbs to 1M clients).
+# GLUEFL_WIRE_DIM, GLUEFL_WIRE_KERNEL, GLUEFL_CKPT_SCALE_PCT,
+# GLUEFL_POP_MAX); CI passes GLUEFL_ROUNDS=1 for a fast smoke, the
+# committed repo-root BENCH_7.json is produced with the defaults (the
+# wire bench's default dimension and the checkpoint bench's default
+# population are already OpenImage scale; the population bench climbs
+# to 1M clients).
 set -eu
 
-out=${1:-BENCH_6.json}
+out=${1:-BENCH_7.json}
 bindir=${2:-build}
 
 for bin in bench_async_throughput bench_agg_scale bench_wire_codec \

@@ -23,9 +23,28 @@ void accumulate_range(const SparseDelta& d, float* out, size_t lo,
   const std::vector<uint32_t>& idx = *d.idx;
   const auto begin = std::lower_bound(idx.begin(), idx.end(),
                                       static_cast<uint32_t>(lo));
-  for (auto it = begin; it != idx.end() && *it < hi; ++it) {
-    const size_t k = static_cast<size_t>(it - idx.begin());
-    out[*it] += w * d.val[k];
+  const auto end =
+      std::lower_bound(begin, idx.end(), static_cast<uint32_t>(hi));
+  size_t k = static_cast<size_t>(begin - idx.begin());
+  const size_t k1 = static_cast<size_t>(end - idx.begin());
+  // Positional-delta fast path: supports decoded from bitmap/RLE cohort
+  // masks arrive as runs of consecutive positions, where the scatter
+  // collapses to a unit-stride axpy over the run. Supports ascend
+  // strictly, so the first/last distance is a complete consecutiveness
+  // probe — scattered indices pay ONE extra compare per position, never a
+  // run scan. Each position still receives exactly one add in ascending
+  // order, so the result is bit-identical to the plain scalar walk.
+  constexpr size_t kMinRun = 16;
+  while (k < k1) {
+    if (k + kMinRun <= k1 && idx[k + kMinRun - 1] == idx[k] + (kMinRun - 1)) {
+      size_t r = k + kMinRun;
+      while (r < k1 && idx[r] == idx[r - 1] + 1) ++r;
+      axpy(w, d.val.data() + k, out + idx[k], r - k);
+      k = r;
+    } else {
+      out[idx[k]] += w * d.val[k];
+      ++k;
+    }
   }
 }
 
@@ -59,6 +78,22 @@ void accumulate_shared_run(const std::vector<SparseDelta>& deltas, size_t i0,
   size_t k = k0;
   for (; k + kBlock <= k1; k += kBlock) {
     float acc[kBlock];
+    // Positional-delta fast path: when the block's indices are one
+    // consecutive run (idx ascends strictly, so first/last distance is a
+    // complete test), the gather/scatter collapses to unit-stride loads
+    // and stores. The per-position add chains are unchanged either way,
+    // so both branches are bit-identical to the scalar form.
+    if (idx[k + kBlock - 1] == idx[k] + (kBlock - 1)) {
+      float* o = out + idx[k];
+      for (size_t u = 0; u < kBlock; ++u) acc[u] = o[u];
+      for (size_t i = 0; i < n; ++i) {
+        const float w = ws[i];
+        const float* v = vals[i] + k;
+        for (size_t u = 0; u < kBlock; ++u) acc[u] += w * v[u];
+      }
+      for (size_t u = 0; u < kBlock; ++u) o[u] = acc[u];
+      continue;
+    }
     for (size_t u = 0; u < kBlock; ++u) acc[u] = out[idx[k + u]];
     for (size_t i = 0; i < n; ++i) {
       const float w = ws[i];

@@ -24,6 +24,7 @@
 #include "nn/proxies.h"
 #include "strategies/factory.h"
 #include "strategies/gluefl.h"
+#include "wire/kernels.h"
 
 namespace gluefl::cli {
 
@@ -78,6 +79,9 @@ run flags:
                      payloads, price measured bytes) | analytic
                      (pre-wire size formulas, for A/B)           [encoded]
   --json FILE        also write the JSON summary to FILE
+  --dry-run          validate flags and configuration, then exit without
+                     running anything (accepted by run, sweep and resume;
+                     skips checkpoint-directory probing and loading)
   --checkpoint-every N  save a resumable snapshot every N rounds
                         (requires --checkpoint-dir)
   --checkpoint-dir D    existing, writable directory for snapshots
@@ -188,6 +192,18 @@ class Flags {
     const auto it = flags_.find(key);
     return it == flags_.end() ? std::move(def)
                               : parse_double_list(key, it->second);
+  }
+
+  /// Boolean (presence) flag. parse_args stores "1" for the bare form;
+  /// an explicit value is a usage error because none is meaningful.
+  bool flag(const std::string& key) {
+    used_.insert(key);
+    const auto it = flags_.find(key);
+    if (it == flags_.end()) return false;
+    if (it->second != "1") {
+      throw UsageError("--" + key + " takes no value");
+    }
+    return true;
   }
 
   /// True if the flag appeared on the command line. Does NOT mark the flag
@@ -379,9 +395,10 @@ AsyncOptions resolve_async(Flags& flags, int k, int num_clients) {
   return a;
 }
 
-SimEngine make_cli_engine(const RunOptions& opt, const SyntheticSpec& spec,
-                          int k, int topk) {
-  const long pop = effective_population(opt, spec);
+/// Population/topology consistency checks shared by the real engine
+/// construction and --dry-run (which must report the same errors without
+/// paying for the engine).
+void validate_population_topology(const RunOptions& opt, long pop, int k) {
   if (pop < k) {
     throw UsageError("--population " + std::to_string(pop) +
                      " is smaller than the preset cohort K=" +
@@ -392,6 +409,11 @@ SimEngine make_cli_engine(const RunOptions& opt, const SyntheticSpec& spec,
                      " has more edges than the population (" +
                      std::to_string(pop) + " clients)");
   }
+}
+
+SimEngine make_cli_engine(const RunOptions& opt, const SyntheticSpec& spec,
+                          int k, int topk) {
+  validate_population_topology(opt, effective_population(opt, spec), k);
   TrainConfig train;
   train.lr0 = 0.05;
   RunConfig run;
@@ -423,7 +445,8 @@ SimEngine make_cli_engine(const RunOptions& opt, const SyntheticSpec& spec,
 /// modes surface before the first (possibly expensive) round executes: a
 /// missing or read-only directory must not cost a lost snapshot hundreds
 /// of rounds into a campaign.
-void resolve_checkpoint_flags(Flags& flags, RunOptions& opt) {
+void resolve_checkpoint_flags(Flags& flags, RunOptions& opt,
+                              bool probe_dir = true) {
   opt.checkpoint_every =
       static_cast<int>(flags.integer("checkpoint-every", 0, 1, 1000000));
   opt.checkpoint_dir = flags.str("checkpoint-dir", "");
@@ -435,7 +458,9 @@ void resolve_checkpoint_flags(Flags& flags, RunOptions& opt) {
   if (!opt.checkpoint_dir.empty() && opt.checkpoint_every == 0) {
     throw UsageError("--checkpoint-dir requires --checkpoint-every");
   }
-  if (!opt.checkpoint_dir.empty()) {
+  // --dry-run skips the probe: validating a command line must not require
+  // the snapshot directory to exist yet.
+  if (!opt.checkpoint_dir.empty() && probe_dir) {
     const std::string probe = opt.checkpoint_dir + "/.gluefl-ckpt-probe";
     std::ofstream f(probe);
     const bool ok = f.good();
@@ -804,6 +829,9 @@ ParsedArgs parse_args(const std::vector<std::string>& args) {
     if (const size_t eq = key.find('='); eq != std::string::npos) {
       value = key.substr(eq + 1);
       key = key.substr(0, eq);
+    } else if (key == "dry-run") {
+      // Boolean flags never consume the next token.
+      value = "1";
     } else {
       if (i + 1 >= args.size()) {
         p.error = "flag --" + key + " is missing a value";
@@ -883,8 +911,9 @@ int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   (void)err;
   reject_positionals(args);
   Flags flags(args.flags);
+  const bool dry_run = flags.flag("dry-run");
   RunOptions opt = resolve_common(flags);
-  resolve_checkpoint_flags(flags, opt);
+  resolve_checkpoint_flags(flags, opt, /*probe_dir=*/!dry_run);
   const bool async = opt.exec == "async";
   const std::string strategy_name =
       flags.str("strategy", async ? "async-fedbuff" : "gluefl");
@@ -899,6 +928,12 @@ int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   AsyncOptions aopt;
   if (async) aopt = resolve_async(flags, k, static_cast<int>(pop));
   flags.reject_unknown();
+  validate_population_topology(opt, pop, k);
+  if (dry_run) {
+    out << "dry-run: " << strategy_name << " on " << opt.dataset << " x "
+        << opt.model << " — flags OK\n";
+    return 0;
+  }
   SimEngine engine = make_cli_engine(opt, spec, k, topk);
   const double rss_mb =
       static_cast<double>(engine.memory_estimate_bytes()) / (1024.0 * 1024.0);
@@ -956,6 +991,7 @@ int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 
 int cmd_resume(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   Flags flags(args.flags);
+  const bool dry_run = flags.flag("dry-run");
   if (args.positionals.size() != 1) {
     throw UsageError(
         "resume expects exactly one checkpoint path: gluefl resume CKPT");
@@ -963,6 +999,16 @@ int cmd_resume(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   const std::string path = args.positionals.front();
   const long threads_override = flags.integer("threads", -1, 0, 1024);
   const std::string json_path = flags.str("json", "");
+  if (dry_run) {
+    // Validate resume's own flags without touching the snapshot (which
+    // need not exist yet when a command line is being vetted).
+    RunOptions scratch;
+    scratch.rounds = 1000000;  // --crash-at-round bound without a snapshot
+    resolve_checkpoint_flags(flags, scratch, /*probe_dir=*/false);
+    flags.reject_unknown();
+    out << "dry-run: resume from " << path << " — flags OK\n";
+    return 0;
+  }
 
   const ckpt::Snapshot snap = ckpt::load_checkpoint(path);
 
@@ -1104,7 +1150,8 @@ int cmd_resume(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 
 /// Async sweep: grid over --async-buffer x --staleness-alpha with a fixed
 /// concurrency, reusing the Table-2-style cost reporting.
-int cmd_sweep_async(Flags& flags, const RunOptions& opt, std::ostream& out) {
+int cmd_sweep_async(Flags& flags, const RunOptions& opt, bool dry_run,
+                    std::ostream& out) {
   for (const char* f : {"q", "q-shr", "sticky-s", "sticky-c"}) {
     if (flags.provided(f)) {
       throw UsageError(std::string("--") + f + " requires --exec=sync");
@@ -1140,6 +1187,11 @@ int cmd_sweep_async(Flags& flags, const RunOptions& opt, std::ostream& out) {
   if (arms > 64) {
     throw UsageError("sweep grid has " + std::to_string(arms) +
                      " arms; keep it <= 64");
+  }
+  validate_population_topology(opt, pop, k);
+  if (dry_run) {
+    out << "dry-run: async sweep (" << arms << " arms) — flags OK\n";
+    return 0;
   }
 
   out << "sweep: async-fedbuff on " << opt.dataset << " x " << opt.model
@@ -1206,8 +1258,9 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   (void)err;
   reject_positionals(args);
   Flags flags(args.flags);
+  const bool dry_run = flags.flag("dry-run");
   RunOptions opt = resolve_common(flags);
-  if (opt.exec == "async") return cmd_sweep_async(flags, opt, out);
+  if (opt.exec == "async") return cmd_sweep_async(flags, opt, dry_run, out);
   reject_async_flags_in_sync_mode(flags, opt.exec);
 
   const SyntheticSpec spec = make_spec(opt.dataset, opt.scale);
@@ -1248,6 +1301,11 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   }
   for (const double c : sticky_cs) {
     if (c < 1.0) throw UsageError("--sticky-c values must be positive");
+  }
+  validate_population_topology(opt, pop, k);
+  if (dry_run) {
+    out << "dry-run: sweep (" << arms << " arms) — flags OK\n";
+    return 0;
   }
 
   out << "sweep: gluefl on " << opt.dataset << " x " << opt.model << " over "
@@ -1324,6 +1382,13 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     return 2;
   }
   try {
+    // Codec kernel resolution is lazy (first quantized block), so an
+    // fp32-only run would silently ignore a bad GLUEFL_WIRE_KERNEL.
+    // Validate eagerly whenever the knob is set: unknown or unsupported
+    // names fail here as one loud line, before any work happens.
+    if (std::getenv("GLUEFL_WIRE_KERNEL") != nullptr) {
+      (void)wire::active_kernel();
+    }
     if (parsed.command == "list") return cmd_list(parsed, out, err);
     if (parsed.command == "run") return cmd_run(parsed, out, err);
     if (parsed.command == "sweep") return cmd_sweep(parsed, out, err);

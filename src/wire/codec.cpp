@@ -1,10 +1,12 @@
 #include "wire/codec.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstring>
 
 #include "common/check.h"
+#include "wire/kernels.h"
 
 namespace gluefl::wire {
 
@@ -28,12 +30,6 @@ void put_u16(std::vector<uint8_t>& out, uint16_t v) {
 
 void put_u32(std::vector<uint8_t>& out, uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
-}
-
-void put_f32(std::vector<uint8_t>& out, float v) {
-  uint32_t bits;
-  std::memcpy(&bits, &v, 4);
-  put_u32(out, bits);
 }
 
 void put_varint(std::vector<uint8_t>& out, uint64_t v) {
@@ -112,65 +108,6 @@ struct Cursor {
   }
 };
 
-/// Quantizes one chunk onto the symmetric 2^bits - 1 level grid with
-/// stochastic rounding (the UniformQuantizer transform, per chunk), writing
-/// levels to `levels` and the dequantized values back into x.
-float quantize_chunk(float* x, size_t n, int bits, Rng& rng,
-                     uint16_t* levels) {
-  float max_abs = 0.0f;
-  for (size_t i = 0; i < n; ++i) max_abs = std::max(max_abs, std::fabs(x[i]));
-  const int nlevels = (1 << bits) - 1;
-  if (max_abs == 0.0f) {
-    std::fill_n(levels, n, uint16_t{0});
-    std::fill_n(x, n, 0.0f);
-    return 0.0f;
-  }
-  const float scale = 2.0f * max_abs / static_cast<float>(nlevels);
-  for (size_t i = 0; i < n; ++i) {
-    const float t = (x[i] + max_abs) / scale;  // in [0, nlevels]
-    const float lo = std::floor(t);
-    const float frac = t - lo;
-    const float q = std::clamp(lo + (rng.uniform() < frac ? 1.0f : 0.0f),
-                               0.0f, static_cast<float>(nlevels));
-    levels[i] = static_cast<uint16_t>(q);
-    x[i] = q * scale - max_abs;
-  }
-  return max_abs;
-}
-
-/// Packs n levels of `bits` each, LSB-first, into out (chunk-local:
-/// the accumulator never crosses a chunk boundary).
-void pack_levels(const uint16_t* levels, size_t n, int bits,
-                 std::vector<uint8_t>& out) {
-  uint64_t acc = 0;
-  int filled = 0;
-  for (size_t i = 0; i < n; ++i) {
-    acc |= static_cast<uint64_t>(levels[i]) << filled;
-    filled += bits;
-    while (filled >= 8) {
-      out.push_back(static_cast<uint8_t>(acc));
-      acc >>= 8;
-      filled -= 8;
-    }
-  }
-  if (filled > 0) out.push_back(static_cast<uint8_t>(acc));
-}
-
-void unpack_levels(const uint8_t* in, size_t n, int bits, uint16_t* levels) {
-  uint64_t acc = 0;
-  int avail = 0;
-  const uint16_t mask = static_cast<uint16_t>((1u << bits) - 1u);
-  for (size_t i = 0; i < n; ++i) {
-    while (avail < bits) {
-      acc |= static_cast<uint64_t>(*in++) << avail;
-      avail += 8;
-    }
-    levels[i] = static_cast<uint16_t>(acc) & mask;
-    acc >>= bits;
-    avail -= bits;
-  }
-}
-
 size_t bitmap_bytes(size_t dim) { return (dim + 7) / 8; }
 
 void put_bitmap(std::vector<uint8_t>& out, const BitMask& m) {
@@ -182,7 +119,10 @@ void put_bitmap(std::vector<uint8_t>& out, const BitMask& m) {
   });
 }
 
-/// Decodes a ValueBlock of n values into out (resized).
+/// Decodes a ValueBlock of n values into out (resized). The per-chunk
+/// unpack + dequantize runs on the dispatched kernel (kernels.h); levels
+/// are masked to `bits` bits while unpacking, so they cannot exceed the
+/// 2^bits - 1 grid by construction and need no per-level range check.
 void read_value_block(Cursor& c, size_t n, std::vector<float>& out) {
   const int bits = c.u8();
   GLUEFL_CHECK_MSG(bits == 32 || (bits >= 1 && bits <= 16),
@@ -193,21 +133,102 @@ void read_value_block(Cursor& c, size_t n, std::vector<float>& out) {
     std::memcpy(out.data(), raw, n * 4);
     return;
   }
-  const int nlevels = (1 << bits) - 1;
-  uint16_t levels[kValueChunk];
+  const CodecKernel& kernel = active_kernel();
   for (size_t base = 0; base < n; base += kValueChunk) {
     const size_t cn = std::min(kValueChunk, n - base);
     const float max_abs = c.f32();
     GLUEFL_CHECK_MSG(std::isfinite(max_abs) && max_abs >= 0.0f,
                      "wire: bad chunk scale");
     const uint8_t* packed = c.bytes((cn * static_cast<size_t>(bits) + 7) / 8);
-    unpack_levels(packed, cn, bits, levels);
-    const float scale = 2.0f * max_abs / static_cast<float>(nlevels);
-    for (size_t i = 0; i < cn; ++i) {
-      GLUEFL_CHECK_MSG(levels[i] <= nlevels, "wire: level out of range");
-      out[base + i] =
-          static_cast<float>(levels[i]) * scale - max_abs;
+    kernel.decode_chunk(packed, cn, bits, max_abs, out.data() + base);
+  }
+}
+
+// ---- batched delta-varint position decode ----
+
+/// Byte lengths of the complete varints inside an 8-byte window, keyed on
+/// the window's eight continuation bits.
+struct VarintWindow {
+  uint8_t count;   // complete varints in the window (<= 4 tracked)
+  uint8_t len[4];  // their byte lengths, in order
+};
+
+constexpr std::array<VarintWindow, 256> make_varint_window_table() {
+  std::array<VarintWindow, 256> table{};
+  for (int key = 0; key < 256; ++key) {
+    VarintWindow e{};
+    int pos = 0;
+    while (e.count < 4) {
+      int end = pos;  // advance to the first byte with its MSB clear
+      while (end < 8 && ((key >> end) & 1) != 0) ++end;
+      if (end >= 8) break;  // this varint runs past the window
+      e.len[e.count++] = static_cast<uint8_t>(end - pos + 1);
+      pos = end + 1;
     }
+    table[key] = e;
+  }
+  return table;
+}
+
+/// Decodes n ascending positions from delta varints. Top-k gaps average
+/// dim/k, so deltas are overwhelmingly 1-byte varints: the decoder reads
+/// an 8-byte window and either emits eight 1-byte deltas unrolled (no
+/// continuation bit set) or walks the 256-entry length table above for
+/// up to 4 complete varints per window. Varints completing inside a
+/// window carry <= 56 payload bits, so the u64 accumulation cannot
+/// overflow; longer ones (only hostile frames — valid deltas are < dim)
+/// and the last few positions fall back to the overflow-checked
+/// Cursor::varint reference, preserving its exact error behavior.
+void decode_delta_positions(Cursor& c, size_t n, size_t dim,
+                            uint32_t* out) {
+  static constexpr std::array<VarintWindow, 256> kWindows =
+      make_varint_window_table();
+  constexpr uint64_t kContBits = 0x8080808080808080ULL;
+  // Multiplying the masked continuation bits by this constant gathers
+  // them into the top byte (the sums of the contributing bit positions
+  // are collision-free, so no carries corrupt the key).
+  constexpr uint64_t kMsbGather = 0x0002040810204081ULL;
+  uint64_t pos = 0;
+  size_t i = 0;
+  while (n - i >= 8 && c.left >= 8) {
+    uint64_t w;
+    std::memcpy(&w, c.p, 8);
+    if ((w & kContBits) == 0) {
+      for (int j = 0; j < 8; ++j) {
+        const uint64_t d = (w >> (8 * j)) & 0x7f;
+        pos = (i + j == 0) ? d : pos + d;
+        GLUEFL_CHECK_MSG(pos < dim, "wire: unique index out of range");
+        out[i + j] = static_cast<uint32_t>(pos);
+      }
+      c.p += 8;
+      c.left -= 8;
+      i += 8;
+      continue;
+    }
+    const uint8_t key =
+        static_cast<uint8_t>(((w & kContBits) * kMsbGather) >> 56);
+    const VarintWindow& e = kWindows[key];
+    if (e.count == 0) break;  // >= 8-byte varint: take the checked path
+    size_t off = 0;
+    for (size_t j = 0; j < e.count; ++j) {
+      uint64_t d = 0;
+      for (int b = 0; b < e.len[j]; ++b) {
+        d |= ((w >> (8 * (off + b))) & 0x7f) << (7 * b);
+      }
+      off += e.len[j];
+      pos = (i + j == 0) ? d : pos + d;
+      GLUEFL_CHECK_MSG(pos < dim, "wire: unique index out of range");
+      out[i + j] = static_cast<uint32_t>(pos);
+    }
+    c.p += off;
+    c.left -= off;
+    i += e.count;
+  }
+  for (; i < n; ++i) {
+    const uint64_t d = c.varint();
+    pos = (i == 0) ? d : pos + d;
+    GLUEFL_CHECK_MSG(pos < dim, "wire: unique index out of range");
+    out[i] = static_cast<uint32_t>(pos);
   }
 }
 
@@ -227,10 +248,10 @@ uint32_t support_id(const std::vector<uint32_t>& idx) {
 void quantize_values(float* x, size_t n, int bits, Rng& rng) {
   GLUEFL_CHECK(bits == 32 || (bits >= 1 && bits <= 16));
   if (bits == 32) return;
-  uint16_t levels[kValueChunk];
+  const CodecKernel& kernel = active_kernel();
   for (size_t base = 0; base < n; base += kValueChunk) {
     const size_t cn = std::min(kValueChunk, n - base);
-    quantize_chunk(x + base, cn, bits, rng, levels);
+    kernel.encode_chunk(x + base, cn, bits, rng, nullptr, x + base);
   }
 }
 
@@ -382,15 +403,21 @@ void WireEncoder::value_block(const float* v, size_t n) {
     std::memcpy(buf_.data() + start, v, n * 4);
     return;
   }
-  uint16_t levels[kValueChunk];
-  float chunk[kValueChunk];
+  // The kernel packs straight into the frame buffer (resized up front per
+  // chunk) — no chunk copy, no per-byte push_back.
+  const CodecKernel& kernel = active_kernel();
   for (size_t base = 0; base < n; base += kValueChunk) {
     const size_t cn = std::min(kValueChunk, n - base);
-    std::memcpy(chunk, v + base, cn * sizeof(float));
-    const float max_abs = quantize_chunk(chunk, cn, value_bits_, *rng_,
-                                         levels);
-    put_f32(buf_, max_abs);
-    pack_levels(levels, cn, value_bits_, buf_);
+    const size_t nb = (cn * static_cast<size_t>(value_bits_) + 7) / 8;
+    const size_t start = buf_.size();
+    buf_.resize(start + 4 + nb);
+    const float max_abs = kernel.encode_chunk(
+        v + base, cn, value_bits_, *rng_, buf_.data() + start + 4, nullptr);
+    uint32_t bits;
+    std::memcpy(&bits, &max_abs, 4);
+    for (int b = 0; b < 4; ++b) {
+      buf_[start + b] = static_cast<uint8_t>(bits >> (8 * b));
+    }
   }
 }
 
@@ -514,13 +541,7 @@ WireDecoder::WireDecoder(const uint8_t* data, size_t size,
         if (kind == kIdxRaw32) {
           for (size_t i = 0; i < n; ++i) unique_.idx[i] = c.u32();
         } else if (kind == kIdxDeltaVarint) {
-          uint64_t pos = 0;
-          for (size_t i = 0; i < n; ++i) {
-            const uint64_t d = c.varint();
-            pos = i == 0 ? d : pos + d;
-            GLUEFL_CHECK_MSG(pos < dim_, "wire: unique index out of range");
-            unique_.idx[i] = static_cast<uint32_t>(pos);
-          }
+          decode_delta_positions(c, n, dim_, unique_.idx.data());
         } else if (kind == kIdxBitmap) {
           const uint8_t* raw = c.bytes(bitmap_bytes(dim_));
           size_t k = 0;

@@ -1,0 +1,185 @@
+// Portable codec kernel + the dispatch registry (see kernels.h).
+//
+// The portable encode/decode below are the reference semantics for the
+// ValueBlock transform; the SSE/AVX2 TUs (kernels_sse.cpp /
+// kernels_avx2.cpp, compiled only on x86-64 with per-file arch flags)
+// must match them bit-for-bit. GLUEFL_WIRE_SIMD is defined for THIS file
+// by CMake exactly when those TUs are part of the build.
+#include "wire/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+
+namespace gluefl::wire {
+
+namespace detail {
+
+void pack_levels(const int32_t* levels, size_t n, int bits, uint8_t* out) {
+  uint64_t acc = 0;
+  int filled = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc |= static_cast<uint64_t>(static_cast<uint32_t>(levels[i])) << filled;
+    filled += bits;
+    while (filled >= 8) {
+      *out++ = static_cast<uint8_t>(acc);
+      acc >>= 8;
+      filled -= 8;
+    }
+  }
+  if (filled > 0) *out = static_cast<uint8_t>(acc);
+}
+
+float portable_encode_chunk(const float* x, size_t n, int bits, Rng& rng,
+                            uint8_t* packed, float* dequant) {
+  float max_abs = 0.0f;
+  for (size_t i = 0; i < n; ++i) max_abs = std::max(max_abs, std::fabs(x[i]));
+  const int nlevels = (1 << bits) - 1;
+  if (max_abs == 0.0f) {
+    // An all-zero chunk encodes to level 0 everywhere and draws NOTHING
+    // from the rng — part of the draw-sequence contract.
+    if (packed != nullptr) {
+      std::memset(packed, 0, (n * static_cast<size_t>(bits) + 7) / 8);
+    }
+    if (dequant != nullptr) std::fill_n(dequant, n, 0.0f);
+    return 0.0f;
+  }
+  const float scale = 2.0f * max_abs / static_cast<float>(nlevels);
+  int32_t levels[256];
+  for (size_t i = 0; i < n; ++i) {
+    const float t = (x[i] + max_abs) / scale;  // in [0, nlevels]
+    const float lo = std::floor(t);
+    const float frac = t - lo;
+    const float q = std::clamp(lo + (rng.uniform() < frac ? 1.0f : 0.0f),
+                               0.0f, static_cast<float>(nlevels));
+    levels[i] = static_cast<int32_t>(q);
+    if (dequant != nullptr) dequant[i] = q * scale - max_abs;
+  }
+  if (packed != nullptr) pack_levels(levels, n, bits, packed);
+  return max_abs;
+}
+
+void portable_decode_chunk(const uint8_t* packed, size_t n, int bits,
+                           float max_abs, float* out) {
+  const int nlevels = (1 << bits) - 1;
+  const float scale = 2.0f * max_abs / static_cast<float>(nlevels);
+  // Fused unpack + dequantize; the mask bounds every level to the grid.
+  uint64_t acc = 0;
+  int avail = 0;
+  const uint32_t mask = (1u << bits) - 1u;
+  for (size_t i = 0; i < n; ++i) {
+    while (avail < bits) {
+      acc |= static_cast<uint64_t>(*packed++) << avail;
+      avail += 8;
+    }
+    const uint32_t level = static_cast<uint32_t>(acc) & mask;
+    acc >>= bits;
+    avail -= bits;
+    out[i] = static_cast<float>(level) * scale - max_abs;
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+constexpr CodecKernel kPortableKernel{"portable",
+                                      &detail::portable_encode_chunk,
+                                      &detail::portable_decode_chunk};
+
+const CodecKernel* kernel_ptr(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kPortable:
+      return &kPortableKernel;
+#if defined(GLUEFL_WIRE_SIMD)
+    case KernelKind::kSse:
+      return &detail::kSseKernel;
+    case KernelKind::kAvx2:
+      return &detail::kAvx2Kernel;
+#else
+    case KernelKind::kSse:
+    case KernelKind::kAvx2:
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+bool cpu_has(KernelKind kind) {
+#if defined(GLUEFL_WIRE_SIMD)
+  if (kind == KernelKind::kSse) return __builtin_cpu_supports("sse4.1") != 0;
+  if (kind == KernelKind::kAvx2) return __builtin_cpu_supports("avx2") != 0;
+#endif
+  return kind == KernelKind::kPortable;
+}
+
+const CodecKernel* resolve_kernel() {
+  if (const char* env = std::getenv("GLUEFL_WIRE_KERNEL")) {
+    KernelKind kind = KernelKind::kPortable;
+    if (std::strcmp(env, "portable") == 0) {
+      kind = KernelKind::kPortable;
+    } else if (std::strcmp(env, "sse") == 0) {
+      kind = KernelKind::kSse;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      kind = KernelKind::kAvx2;
+    } else {
+      GLUEFL_CHECK_MSG(false,
+                       std::string("GLUEFL_WIRE_KERNEL must be "
+                                   "portable|sse|avx2, got '") +
+                           env + "'");
+    }
+    GLUEFL_CHECK_MSG(kernel_supported(kind),
+                     std::string("GLUEFL_WIRE_KERNEL=") + env +
+                         " is not supported by this build/CPU");
+    return kernel_ptr(kind);
+  }
+  if (kernel_supported(KernelKind::kAvx2)) {
+    return kernel_ptr(KernelKind::kAvx2);
+  }
+  if (kernel_supported(KernelKind::kSse)) return kernel_ptr(KernelKind::kSse);
+  return &kPortableKernel;
+}
+
+// Resolved lazily; a benign race re-runs the deterministic resolution.
+std::atomic<const CodecKernel*> g_active{nullptr};
+
+}  // namespace
+
+bool kernel_supported(KernelKind kind) {
+  return kernel_ptr(kind) != nullptr && cpu_has(kind);
+}
+
+const CodecKernel& kernel(KernelKind kind) {
+  GLUEFL_CHECK_MSG(kernel_supported(kind),
+                   "wire: codec kernel not supported by this build/CPU");
+  return *kernel_ptr(kind);
+}
+
+std::vector<KernelKind> supported_kernels() {
+  std::vector<KernelKind> kinds;
+  for (const KernelKind k :
+       {KernelKind::kPortable, KernelKind::kSse, KernelKind::kAvx2}) {
+    if (kernel_supported(k)) kinds.push_back(k);
+  }
+  return kinds;
+}
+
+const CodecKernel& active_kernel() {
+  const CodecKernel* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    k = resolve_kernel();
+    g_active.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+void force_kernel(KernelKind kind) {
+  g_active.store(&kernel(kind), std::memory_order_release);
+}
+
+}  // namespace gluefl::wire

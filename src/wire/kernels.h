@@ -1,0 +1,95 @@
+// Runtime-dispatched codec kernels for the quantized ValueBlock hot path
+// (DESIGN.md §7a).
+//
+// A CodecKernel implements the per-chunk quantize/pack ("encode") and
+// unpack/dequantize ("decode") transforms of the wire format's ValueBlock
+// (codec.h): chunks of up to kValueChunk = 256 values, one fp32 max-abs
+// scale per chunk, levels bit-packed LSB-first. Three kernels exist:
+//
+//   portable  the scalar reference — always compiled, always supported,
+//             and the definition of correct output for the other two.
+//   sse       SSE4.1-widened variant (4 lanes), x86-64 builds only.
+//   avx2      AVX2-widened variant (8 lanes), x86-64 builds only.
+//
+// Every kernel is BIT-IDENTICAL to portable, by construction and by test
+// (tests/test_wire_kernels.cpp): the SIMD paths use only IEEE-exact
+// operations (add/sub/mul/div/floor/min/max and int<->float conversions;
+// the kernel TUs are compiled without FMA so no contraction can occur),
+// the max-abs reduction reorders a commutative/associative max, and the
+// stochastic-rounding uniforms are drawn scalar, one per value in index
+// order — exactly the portable draw sequence (and none at all for an
+// all-zero chunk).
+//
+// Dispatch: active_kernel() resolves once per process — the
+// GLUEFL_WIRE_KERNEL env knob (portable|sse|avx2; CheckError when the
+// named kernel is missing from the build or the CPU) wins, otherwise the
+// widest CPUID-supported kernel. force_kernel() overrides in-process so
+// tests and benches can iterate every kernel without subprocesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gluefl::wire {
+
+enum class KernelKind { kPortable = 0, kSse = 1, kAvx2 = 2 };
+
+struct CodecKernel {
+  const char* name;
+
+  /// Quantizes one chunk of n <= kValueChunk values onto the symmetric
+  /// 2^bits-1 level grid with stochastic rounding and returns the chunk's
+  /// max-abs scale. Draws exactly n rng.uniform() doubles in index order
+  /// when max_abs > 0 and none otherwise. When `packed` is non-null the
+  /// bit-packed levels (ceil(n*bits/8) bytes, LSB-first) are written
+  /// there; when `dequant` is non-null (may alias x) the dequantized
+  /// values level*scale - max_abs are written there. bits in [1, 16].
+  float (*encode_chunk)(const float* x, size_t n, int bits, Rng& rng,
+                        uint8_t* packed, float* dequant);
+
+  /// Unpacks n levels of `bits` each from `packed` and dequantizes into
+  /// out: out[i] = level_i * (2*max_abs/(2^bits-1)) - max_abs. Levels are
+  /// masked to `bits` bits while unpacking, so they cannot exceed the
+  /// grid by construction.
+  void (*decode_chunk)(const uint8_t* packed, size_t n, int bits,
+                       float max_abs, float* out);
+};
+
+/// True when `kind` is compiled into this build AND the running CPU has
+/// the required ISA. kPortable is always supported.
+bool kernel_supported(KernelKind kind);
+
+/// The kernel table entry for `kind`; CheckError when unsupported.
+const CodecKernel& kernel(KernelKind kind);
+
+/// All supported kernels, portable first (the bench/test iteration order).
+std::vector<KernelKind> supported_kernels();
+
+/// The process-wide kernel the codec uses, resolved on first call:
+/// GLUEFL_WIRE_KERNEL env override, else widest CPUID-supported.
+const CodecKernel& active_kernel();
+
+/// Replaces the active kernel in-process (tests/benches); CheckError when
+/// `kind` is unsupported.
+void force_kernel(KernelKind kind);
+
+namespace detail {
+// The scalar reference transforms, exposed so the SIMD TUs can delegate
+// bit widths they don't widen (and handle sub-register tails).
+float portable_encode_chunk(const float* x, size_t n, int bits, Rng& rng,
+                            uint8_t* packed, float* dequant);
+void portable_decode_chunk(const uint8_t* packed, size_t n, int bits,
+                           float max_abs, float* out);
+// LSB-first bit-packer over int32 levels (chunk-local accumulator),
+// shared by all kernels so the byte stream cannot drift.
+void pack_levels(const int32_t* levels, size_t n, int bits, uint8_t* out);
+// Defined by kernels_sse.cpp / kernels_avx2.cpp on x86-64 builds; the
+// registry only references them when GLUEFL_WIRE_SIMD says they exist.
+extern const CodecKernel kSseKernel;
+extern const CodecKernel kAvx2Kernel;
+}  // namespace detail
+
+}  // namespace gluefl::wire

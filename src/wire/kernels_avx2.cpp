@@ -1,0 +1,203 @@
+// AVX2 codec kernel — 8-lane widening of the portable reference
+// (kernels.cpp). This file alone is compiled with -mavx2 (CMake per-file
+// flag; NO global arch flags), and nothing here runs unless CPUID reports
+// AVX2, so the rest of the build keeps the baseline ISA.
+//
+// Bit-exactness argument (tested in tests/test_wire_kernels.cpp):
+//  - -mavx2 does not enable FMA, so mul/add cannot contract; vaddps /
+//    vsubps / vmulps / vdivps / vroundps(floor) / vminps / vmaxps and the
+//    int<->float / float->double conversions are IEEE-exact, identical to
+//    their scalar forms.
+//  - max-abs is a commutative, associative reduction over non-negative
+//    floats, so the lane-parallel + horizontal order equals the scalar
+//    sequential scan.
+//  - the stochastic-rounding uniforms are drawn scalar, one per value in
+//    index order, into a buffer the vector loop then consumes — the draw
+//    sequence (and the rng state afterwards) is exactly the portable
+//    kernel's. The comparison u < frac happens in double, like the
+//    portable `rng.uniform() < static_cast<double>(frac)` promotion.
+//
+// Widened bit widths: 1 / 4 / 8 / 16 (the widths the quantizer and CLI
+// expose on hot paths). Other widths and sub-register tails delegate to
+// the portable reference; vector groups are multiples of 8 values, so a
+// tail always starts on a byte boundary for these widths.
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "wire/kernels.h"
+
+namespace gluefl::wire::detail {
+
+namespace {
+
+constexpr size_t kChunk = 256;  // == codec.h kValueChunk
+
+bool widened(int bits) {
+  return bits == 1 || bits == 4 || bits == 8 || bits == 16;
+}
+
+float chunk_max_abs(const float* x, size_t n) {
+  const __m256 abs_mask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  __m256 m8 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    m8 = _mm256_max_ps(m8, _mm256_and_ps(_mm256_loadu_ps(x + i), abs_mask));
+  }
+  __m128 m4 =
+      _mm_max_ps(_mm256_castps256_ps128(m8), _mm256_extractf128_ps(m8, 1));
+  m4 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+  m4 = _mm_max_ss(m4, _mm_shuffle_ps(m4, m4, 1));
+  float m = _mm_cvtss_f32(m4);
+  for (; i < n; ++i) m = std::max(m, std::fabs(x[i]));
+  return m;
+}
+
+float avx2_encode_chunk(const float* x, size_t n, int bits, Rng& rng,
+                        uint8_t* packed, float* dequant) {
+  if (!widened(bits)) {
+    return portable_encode_chunk(x, n, bits, rng, packed, dequant);
+  }
+  const float max_abs = chunk_max_abs(x, n);
+  const int nlevels = (1 << bits) - 1;
+  if (max_abs == 0.0f) {
+    if (packed != nullptr) {
+      std::memset(packed, 0, (n * static_cast<size_t>(bits) + 7) / 8);
+    }
+    if (dequant != nullptr) std::fill_n(dequant, n, 0.0f);
+    return 0.0f;
+  }
+  const float scale = 2.0f * max_abs / static_cast<float>(nlevels);
+  // The serial part of the contract: one draw per value, in order.
+  alignas(32) double u[kChunk];
+  for (size_t i = 0; i < n; ++i) u[i] = rng.uniform();
+
+  alignas(32) int32_t lv[kChunk];
+  const __m256 vmax = _mm256_set1_ps(max_abs);
+  const __m256 vscale = _mm256_set1_ps(scale);
+  const __m256 vnl = _mm256_set1_ps(static_cast<float>(nlevels));
+  const __m256 vone = _mm256_set1_ps(1.0f);
+  const __m256 vzero = _mm256_setzero_ps();
+  // Picks the low 32 bits of each 64-bit compare mask, condensing two
+  // 4-lane double masks into one 8-lane float mask.
+  const __m256i low_halves = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 xv = _mm256_loadu_ps(x + i);
+    const __m256 t = _mm256_div_ps(_mm256_add_ps(xv, vmax), vscale);
+    const __m256 lo = _mm256_floor_ps(t);
+    const __m256 frac = _mm256_sub_ps(t, lo);
+    const __m256d frac_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(frac));
+    const __m256d frac_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(frac, 1));
+    const __m256d lt_lo =
+        _mm256_cmp_pd(_mm256_load_pd(u + i), frac_lo, _CMP_LT_OQ);
+    const __m256d lt_hi =
+        _mm256_cmp_pd(_mm256_load_pd(u + i + 4), frac_hi, _CMP_LT_OQ);
+    const __m128i m_lo = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(
+        _mm256_castpd_si256(lt_lo), low_halves));
+    const __m128i m_hi = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(
+        _mm256_castpd_si256(lt_hi), low_halves));
+    const __m256 bump = _mm256_and_ps(
+        _mm256_castsi256_ps(_mm256_set_m128i(m_hi, m_lo)), vone);
+    __m256 q = _mm256_add_ps(lo, bump);
+    q = _mm256_min_ps(_mm256_max_ps(q, vzero), vnl);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lv + i),
+                       _mm256_cvtps_epi32(q));
+    if (dequant != nullptr) {
+      _mm256_storeu_ps(dequant + i,
+                       _mm256_sub_ps(_mm256_mul_ps(q, vscale), vmax));
+    }
+  }
+  for (; i < n; ++i) {  // tail: the portable per-value form over u[i]
+    const float t = (x[i] + max_abs) / scale;
+    const float lo = std::floor(t);
+    const float frac = t - lo;
+    const float q = std::clamp(lo + (u[i] < frac ? 1.0f : 0.0f), 0.0f,
+                               static_cast<float>(nlevels));
+    lv[i] = static_cast<int32_t>(q);
+    if (dequant != nullptr) dequant[i] = q * scale - max_abs;
+  }
+  if (packed != nullptr) pack_levels(lv, n, bits, packed);
+  return max_abs;
+}
+
+void avx2_decode_chunk(const uint8_t* packed, size_t n, int bits,
+                       float max_abs, float* out) {
+  if (!widened(bits)) {
+    return portable_decode_chunk(packed, n, bits, max_abs, out);
+  }
+  const int nlevels = (1 << bits) - 1;
+  const float scale = 2.0f * max_abs / static_cast<float>(nlevels);
+  const __m256 vscale = _mm256_set1_ps(scale);
+  const __m256 vmax = _mm256_set1_ps(max_abs);
+  size_t i = 0;
+  switch (bits) {
+    case 1: {
+      const __m256i sel = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+      const __m256 vone = _mm256_set1_ps(1.0f);
+      for (; i + 8 <= n; i += 8) {
+        const __m256i byte = _mm256_set1_epi32(packed[i / 8]);
+        const __m256i hit = _mm256_and_si256(byte, sel);
+        const __m256 lvf = _mm256_and_ps(
+            _mm256_castsi256_ps(_mm256_cmpeq_epi32(hit, sel)), vone);
+        _mm256_storeu_ps(out + i,
+                         _mm256_sub_ps(_mm256_mul_ps(lvf, vscale), vmax));
+      }
+      break;
+    }
+    case 4: {
+      const __m128i nib_mask = _mm_set1_epi16(0x0f);
+      for (; i + 8 <= n; i += 8) {
+        uint32_t w;
+        std::memcpy(&w, packed + i / 2, 4);
+        const __m128i bytes =
+            _mm_cvtepu8_epi16(_mm_cvtsi32_si128(static_cast<int>(w)));
+        const __m128i lo4 = _mm_and_si128(bytes, nib_mask);
+        const __m128i hi4 =
+            _mm_and_si128(_mm_srli_epi16(bytes, 4), nib_mask);
+        // LSB-first: even values in low nibbles -> interleave lo, hi.
+        const __m128i lv16 = _mm_unpacklo_epi16(lo4, hi4);
+        const __m256 lvf = _mm256_cvtepi32_ps(_mm256_cvtepu16_epi32(lv16));
+        _mm256_storeu_ps(out + i,
+                         _mm256_sub_ps(_mm256_mul_ps(lvf, vscale), vmax));
+      }
+      break;
+    }
+    case 8: {
+      for (; i + 8 <= n; i += 8) {
+        const __m128i bytes = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i*>(packed + i));
+        const __m256 lvf = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes));
+        _mm256_storeu_ps(out + i,
+                         _mm256_sub_ps(_mm256_mul_ps(lvf, vscale), vmax));
+      }
+      break;
+    }
+    case 16: {
+      for (; i + 8 <= n; i += 8) {
+        const __m128i words = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(packed + i * 2));
+        const __m256 lvf = _mm256_cvtepi32_ps(_mm256_cvtepu16_epi32(words));
+        _mm256_storeu_ps(out + i,
+                         _mm256_sub_ps(_mm256_mul_ps(lvf, vscale), vmax));
+      }
+      break;
+    }
+  }
+  if (i < n) {
+    // i is a multiple of 8, so i*bits lands on a byte boundary for every
+    // widened width — the tail is a smaller chunk with the same scale.
+    portable_decode_chunk(packed + i * static_cast<size_t>(bits) / 8, n - i,
+                          bits, max_abs, out + i);
+  }
+}
+
+}  // namespace
+
+const CodecKernel kAvx2Kernel{"avx2", &avx2_encode_chunk,
+                              &avx2_decode_chunk};
+
+}  // namespace gluefl::wire::detail

@@ -1,0 +1,168 @@
+// SSE4.1 codec kernel — 4-lane widening of the portable reference. The
+// same bit-exactness argument as kernels_avx2.cpp applies (IEEE-exact
+// lane ops, no FMA, commutative max reduction, scalar rng draws in index
+// order); this file alone is compiled with -msse4.1. It exists for CPUs
+// without AVX2 and as a second point on the dispatch ladder the tests
+// and benches exercise.
+#include <smmintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "wire/kernels.h"
+
+namespace gluefl::wire::detail {
+
+namespace {
+
+constexpr size_t kChunk = 256;  // == codec.h kValueChunk
+
+bool widened(int bits) {
+  return bits == 1 || bits == 4 || bits == 8 || bits == 16;
+}
+
+float chunk_max_abs(const float* x, size_t n) {
+  const __m128 abs_mask = _mm_castsi128_ps(_mm_set1_epi32(0x7fffffff));
+  __m128 m4 = _mm_setzero_ps();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    m4 = _mm_max_ps(m4, _mm_and_ps(_mm_loadu_ps(x + i), abs_mask));
+  }
+  m4 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+  m4 = _mm_max_ss(m4, _mm_shuffle_ps(m4, m4, 1));
+  float m = _mm_cvtss_f32(m4);
+  for (; i < n; ++i) m = std::max(m, std::fabs(x[i]));
+  return m;
+}
+
+float sse_encode_chunk(const float* x, size_t n, int bits, Rng& rng,
+                       uint8_t* packed, float* dequant) {
+  if (!widened(bits)) {
+    return portable_encode_chunk(x, n, bits, rng, packed, dequant);
+  }
+  const float max_abs = chunk_max_abs(x, n);
+  const int nlevels = (1 << bits) - 1;
+  if (max_abs == 0.0f) {
+    if (packed != nullptr) {
+      std::memset(packed, 0, (n * static_cast<size_t>(bits) + 7) / 8);
+    }
+    if (dequant != nullptr) std::fill_n(dequant, n, 0.0f);
+    return 0.0f;
+  }
+  const float scale = 2.0f * max_abs / static_cast<float>(nlevels);
+  alignas(16) double u[kChunk];
+  for (size_t i = 0; i < n; ++i) u[i] = rng.uniform();
+
+  alignas(16) int32_t lv[kChunk];
+  const __m128 vmax = _mm_set1_ps(max_abs);
+  const __m128 vscale = _mm_set1_ps(scale);
+  const __m128 vnl = _mm_set1_ps(static_cast<float>(nlevels));
+  const __m128 vone = _mm_set1_ps(1.0f);
+  const __m128 vzero = _mm_setzero_ps();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 xv = _mm_loadu_ps(x + i);
+    const __m128 t = _mm_div_ps(_mm_add_ps(xv, vmax), vscale);
+    const __m128 lo = _mm_floor_ps(t);
+    const __m128 frac = _mm_sub_ps(t, lo);
+    const __m128d frac_lo = _mm_cvtps_pd(frac);
+    const __m128d frac_hi = _mm_cvtps_pd(_mm_movehl_ps(frac, frac));
+    const __m128d lt_lo = _mm_cmplt_pd(_mm_load_pd(u + i), frac_lo);
+    const __m128d lt_hi = _mm_cmplt_pd(_mm_load_pd(u + i + 2), frac_hi);
+    // Condense the two 64-bit-lane masks into four 32-bit lanes.
+    const __m128 m = _mm_shuffle_ps(_mm_castpd_ps(lt_lo),
+                                    _mm_castpd_ps(lt_hi),
+                                    _MM_SHUFFLE(2, 0, 2, 0));
+    const __m128 bump = _mm_and_ps(m, vone);
+    __m128 q = _mm_add_ps(lo, bump);
+    q = _mm_min_ps(_mm_max_ps(q, vzero), vnl);
+    _mm_store_si128(reinterpret_cast<__m128i*>(lv + i), _mm_cvtps_epi32(q));
+    if (dequant != nullptr) {
+      _mm_storeu_ps(dequant + i, _mm_sub_ps(_mm_mul_ps(q, vscale), vmax));
+    }
+  }
+  for (; i < n; ++i) {  // tail: the portable per-value form over u[i]
+    const float t = (x[i] + max_abs) / scale;
+    const float lo = std::floor(t);
+    const float frac = t - lo;
+    const float q = std::clamp(lo + (u[i] < frac ? 1.0f : 0.0f), 0.0f,
+                               static_cast<float>(nlevels));
+    lv[i] = static_cast<int32_t>(q);
+    if (dequant != nullptr) dequant[i] = q * scale - max_abs;
+  }
+  if (packed != nullptr) pack_levels(lv, n, bits, packed);
+  return max_abs;
+}
+
+void sse_decode_chunk(const uint8_t* packed, size_t n, int bits,
+                      float max_abs, float* out) {
+  if (!widened(bits)) {
+    return portable_decode_chunk(packed, n, bits, max_abs, out);
+  }
+  const int nlevels = (1 << bits) - 1;
+  const float scale = 2.0f * max_abs / static_cast<float>(nlevels);
+  const __m128 vscale = _mm_set1_ps(scale);
+  const __m128 vmax = _mm_set1_ps(max_abs);
+  size_t i = 0;
+  switch (bits) {
+    case 1: {
+      // 8 values per byte so the tail below stays byte-aligned.
+      for (; i + 8 <= n; i += 8) {
+        const int b = packed[i / 8];
+        const __m128i l0 =
+            _mm_setr_epi32(b & 1, (b >> 1) & 1, (b >> 2) & 1, (b >> 3) & 1);
+        const __m128i l1 = _mm_setr_epi32((b >> 4) & 1, (b >> 5) & 1,
+                                          (b >> 6) & 1, (b >> 7) & 1);
+        _mm_storeu_ps(out + i, _mm_sub_ps(
+            _mm_mul_ps(_mm_cvtepi32_ps(l0), vscale), vmax));
+        _mm_storeu_ps(out + i + 4, _mm_sub_ps(
+            _mm_mul_ps(_mm_cvtepi32_ps(l1), vscale), vmax));
+      }
+      break;
+    }
+    case 4: {
+      for (; i + 4 <= n; i += 4) {
+        uint16_t w;
+        std::memcpy(&w, packed + i / 2, 2);
+        const __m128i lv = _mm_setr_epi32(w & 0xf, (w >> 4) & 0xf,
+                                          (w >> 8) & 0xf, (w >> 12) & 0xf);
+        _mm_storeu_ps(out + i, _mm_sub_ps(
+            _mm_mul_ps(_mm_cvtepi32_ps(lv), vscale), vmax));
+      }
+      break;
+    }
+    case 8: {
+      for (; i + 4 <= n; i += 4) {
+        uint32_t w;
+        std::memcpy(&w, packed + i, 4);
+        const __m128i lv =
+            _mm_cvtepu8_epi32(_mm_cvtsi32_si128(static_cast<int>(w)));
+        _mm_storeu_ps(out + i, _mm_sub_ps(
+            _mm_mul_ps(_mm_cvtepi32_ps(lv), vscale), vmax));
+      }
+      break;
+    }
+    case 16: {
+      for (; i + 4 <= n; i += 4) {
+        const __m128i words = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i*>(packed + i * 2));
+        const __m128i lv = _mm_cvtepu16_epi32(words);
+        _mm_storeu_ps(out + i, _mm_sub_ps(
+            _mm_mul_ps(_mm_cvtepi32_ps(lv), vscale), vmax));
+      }
+      break;
+    }
+  }
+  if (i < n) {
+    // Group sizes above keep i*bits on a byte boundary for every width.
+    portable_decode_chunk(packed + i * static_cast<size_t>(bits) / 8, n - i,
+                          bits, max_abs, out + i);
+  }
+}
+
+}  // namespace
+
+const CodecKernel kSseKernel{"sse", &sse_encode_chunk, &sse_decode_chunk};
+
+}  // namespace gluefl::wire::detail

@@ -1,0 +1,88 @@
+#!/usr/bin/env sh
+# Docs-consistency check: every ```-fenced `gluefl ...` command in the
+# given markdown files must still parse against the current binary.
+#
+#   sh tests/docs_check.sh GLUEFL_BINARY DOC.md [DOC.md ...]
+#
+# Extraction rules: lines inside fenced code blocks, backslash
+# continuations joined, comment lines and trailing ` # ...` comments
+# stripped, leading VAR=value environment prefixes and the `./build/`
+# path prefix dropped, anything after a pipe or redirect cut. `list` and
+# `help` run verbatim; `run`, `sweep` and `resume` run with `--dry-run`
+# appended so flag validation executes without training anything. Every
+# extracted command must exit 0 — a flag rename that leaves the docs
+# behind fails this check (registered as the `docs_consistency` CTest).
+set -u
+
+bin=$1
+shift
+if [ ! -x "$bin" ]; then
+  echo "error: gluefl binary '$bin' is not executable" >&2
+  exit 1
+fi
+
+tmp=$(mktemp)
+errf=$(mktemp)
+trap 'rm -f "$tmp" "$errf"' EXIT
+
+for doc in "$@"; do
+  if [ ! -f "$doc" ]; then
+    echo "error: doc file '$doc' not found" >&2
+    exit 1
+  fi
+  awk -v doc="$doc" '
+    /^```/ { fence = !fence; next }
+    fence {
+      line = $0
+      while (line ~ /\\[[:space:]]*$/) {
+        sub(/\\[[:space:]]*$/, "", line)
+        if ((getline nl) <= 0) break
+        line = line " " nl
+      }
+      sub(/^[[:space:]]+/, "", line)
+      if (line == "" || line ~ /^#/) next
+      sub(/[[:space:]]#.*$/, "", line)        # trailing comment
+      sub(/[|>].*$/, "", line)                # pipes / redirects
+      while (line ~ /^[A-Za-z_][A-Za-z0-9_]*=[^ ]* /) {
+        sub(/^[A-Za-z_][A-Za-z0-9_]*=[^ ]* /, "", line)  # env prefixes
+      }
+      if (line !~ /^(\.\/)?(build\/)?gluefl([[:space:]]|$)/) next
+      sub(/^(\.\/)?(build\/)?gluefl[[:space:]]*/, "", line)
+      sub(/[[:space:]]+$/, "", line)
+      print doc "\t" line
+    }
+  ' "$doc" >> "$tmp"
+done
+
+fail=0
+count=0
+# Redirect (not pipe) into the loop so $fail survives — a piped `while`
+# runs in a subshell and loses the flag.
+while IFS='	' read -r doc cmdline; do
+  count=$((count + 1))
+  # shellcheck disable=SC2086  # doc commands are whitespace-separated
+  set -- $cmdline
+  case "$1" in
+    list | help) extra="" ;;
+    run | sweep | resume) extra="--dry-run" ;;
+    *)
+      echo "FAIL [$doc]: unknown gluefl command in docs: gluefl $cmdline" >&2
+      fail=1
+      continue
+      ;;
+  esac
+  if "$bin" "$@" $extra > /dev/null 2> "$errf"; then
+    echo "ok   [$doc]: gluefl $cmdline $extra"
+  else
+    echo "FAIL [$doc]: gluefl $cmdline $extra" >&2
+    cat "$errf" >&2
+    fail=1
+  fi
+done < "$tmp"
+
+if [ "$count" -eq 0 ]; then
+  echo "error: no gluefl commands found in the given docs" >&2
+  exit 1
+fi
+echo "checked $count documented gluefl command(s)"
+exit "$fail"

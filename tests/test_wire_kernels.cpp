@@ -1,0 +1,172 @@
+// Kernel-vs-portable bit-identity for the SIMD-dispatched codec kernels
+// (DESIGN.md §7a). The portable scalar kernel is the definition of
+// correct output; every other kernel the build/CPU supports must match
+// it bit-for-bit — same max-abs scale, same packed bytes, same dequant
+// write-back, same rng draw sequence — across bit widths, chunk lengths
+// (including sub-register tails) and whole frames. The suite runs under
+// whatever GLUEFL_WIRE_KERNEL forces, and CI's forced-kernel fuzz legs
+// cover the env-dispatch path itself.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "test_util.h"
+#include "wire/codec.h"
+#include "wire/kernels.h"
+
+namespace gluefl {
+namespace {
+
+using gluefl::testing::random_support;
+using gluefl::testing::random_vals;
+
+class WireKernelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { initial_ = wire::active_kernel().name; }
+  void TearDown() override {
+    // Restore whatever kernel the process was using (env/auto dispatch).
+    for (const wire::KernelKind kind : wire::supported_kernels()) {
+      if (initial_ == wire::kernel(kind).name) wire::force_kernel(kind);
+    }
+  }
+  std::string initial_;
+};
+
+TEST(WireKernelRegistry, PortableAlwaysSupportedAndListedFirst) {
+  EXPECT_TRUE(wire::kernel_supported(wire::KernelKind::kPortable));
+  const auto kinds = wire::supported_kernels();
+  ASSERT_FALSE(kinds.empty());
+  EXPECT_EQ(kinds.front(), wire::KernelKind::kPortable);
+  EXPECT_STREQ(wire::kernel(wire::KernelKind::kPortable).name, "portable");
+}
+
+TEST_F(WireKernelTest, ForceKernelActivatesEachSupportedKernel) {
+  for (const wire::KernelKind kind : wire::supported_kernels()) {
+    wire::force_kernel(kind);
+    EXPECT_STREQ(wire::active_kernel().name, wire::kernel(kind).name);
+  }
+}
+
+// Per-chunk encode/decode identity across every supported kernel, every
+// bit width the wire format allows (widened or delegated), and chunk
+// lengths chosen to hit full registers, sub-register tails and the
+// single-value degenerate case.
+TEST_F(WireKernelTest, EncodeDecodeChunkMatchesPortableBitExactly) {
+  const auto& portable = wire::kernel(wire::KernelKind::kPortable);
+  const int all_bits[] = {1, 2, 3, 4, 5, 7, 8, 11, 16};
+  const size_t lens[] = {1, 5, 8, 63, 64, 100, 255, 256};
+  for (const wire::KernelKind kind : wire::supported_kernels()) {
+    if (kind == wire::KernelKind::kPortable) continue;
+    const auto& k = wire::kernel(kind);
+    for (const int bits : all_bits) {
+      for (const size_t n : lens) {
+        SCOPED_TRACE(std::string(k.name) + " bits=" + std::to_string(bits) +
+                     " n=" + std::to_string(n));
+        Rng data_rng(1000 + static_cast<uint64_t>(bits) * 31 + n);
+        std::vector<float> x = random_vals(n, data_rng);
+        for (size_t i = 0; i < n; i += 7) x[i] = 0.0f;  // exact zeros too
+        const size_t nb = (n * static_cast<size_t>(bits) + 7) / 8;
+        std::vector<uint8_t> pa(nb, 0xAA), pb(nb, 0xAA);
+        std::vector<float> da(n), db(n);
+        Rng ra(42), rb(42);
+        const float ma =
+            portable.encode_chunk(x.data(), n, bits, ra, pa.data(), da.data());
+        const float mb =
+            k.encode_chunk(x.data(), n, bits, rb, pb.data(), db.data());
+        ASSERT_EQ(ma, mb);
+        ASSERT_EQ(pa, pb);
+        ASSERT_EQ(da, db);
+        // Draw-sequence contract: both rngs advanced by exactly n draws.
+        ASSERT_EQ(ra.uniform(), rb.uniform());
+
+        std::vector<float> oa(n), ob(n);
+        portable.decode_chunk(pa.data(), n, bits, ma, oa.data());
+        k.decode_chunk(pa.data(), n, bits, ma, ob.data());
+        ASSERT_EQ(oa, ob);
+        // decode(encode(x)) must equal the encoder's dequant write-back.
+        ASSERT_EQ(oa, da);
+      }
+    }
+  }
+}
+
+// An all-zero chunk encodes to level 0 everywhere and draws NOTHING from
+// the rng — in every kernel, not just the portable reference.
+TEST_F(WireKernelTest, AllZeroChunkDrawsNothingInEveryKernel) {
+  for (const wire::KernelKind kind : wire::supported_kernels()) {
+    const auto& k = wire::kernel(kind);
+    SCOPED_TRACE(k.name);
+    const std::vector<float> x(256, 0.0f);
+    std::vector<uint8_t> packed((256 * 4 + 7) / 8, 0xFF);
+    std::vector<float> dq(256, 1.0f);
+    Rng rng(9), untouched(9);
+    const float m = k.encode_chunk(x.data(), 256, 4, rng, packed.data(),
+                                   dq.data());
+    EXPECT_EQ(m, 0.0f);
+    for (const uint8_t b : packed) ASSERT_EQ(b, 0u);
+    for (const float v : dq) ASSERT_EQ(v, 0.0f);
+    EXPECT_EQ(rng.uniform(), untouched.uniform());
+  }
+}
+
+// Whole frames — dense + shared + unique + stats sections through the
+// real encoder — must come out byte-identical under every kernel, and
+// decode identically, at dimensions that exercise multi-chunk values,
+// chunk tails and the single-parameter degenerate case.
+TEST_F(WireKernelTest, WholeFrameBytesIdenticalAcrossKernels) {
+  const size_t dims[] = {1, 64, 300, 1031, 5000};
+  for (const size_t dim : dims) {
+    for (const int bits : {32, 8, 4, 1}) {
+      SCOPED_TRACE("dim=" + std::to_string(dim) +
+                   " bits=" + std::to_string(bits));
+      std::vector<std::vector<uint8_t>> frames;
+      for (const wire::KernelKind kind : wire::supported_kernels()) {
+        wire::force_kernel(kind);
+        // Payload regenerated from the same seeds per kernel.
+        Rng data_rng(5);
+        std::vector<float> dense_vals = random_vals(dim, data_rng);
+        const auto shared_idx =
+            random_support(dim, std::max<size_t>(1, dim / 5), data_rng);
+        const std::vector<float> svals =
+            random_vals(shared_idx.size(), data_rng);
+        SparseVec uni;
+        uni.idx = random_support(dim, std::max<size_t>(1, dim / 10), data_rng);
+        uni.val = random_vals(uni.idx.size(), data_rng);
+        const std::vector<float> stats = random_vals(17, data_rng);
+
+        Rng enc_rng(77);
+        wire::WireEncoder we(dim, bits, &enc_rng);
+        we.add_dense(dense_vals.data(), dense_vals.size());
+        we.add_shared(svals.data(), svals.size(),
+                      wire::support_id(shared_idx));
+        we.add_unique(uni);
+        we.add_stats(stats.data(), stats.size());
+        frames.push_back(we.finish());
+
+        wire::WireDecoder wd(frames.back().data(), frames.back().size(),
+                             dim);
+        const SparseDelta dec_dense = wd.take_dense(1.0f);
+        const SparseDelta dec_shared = wd.take_shared(
+            std::make_shared<const std::vector<uint32_t>>(shared_idx), 1.0f);
+        const SparseDelta dec_unique = wd.take_unique(1.0f);
+        ASSERT_EQ(wd.take_stats(), stats);
+        ASSERT_EQ(*dec_unique.idx, uni.idx);
+        if (bits == 32) {
+          ASSERT_EQ(dec_dense.val, dense_vals);
+          ASSERT_EQ(dec_shared.val, svals);
+          ASSERT_EQ(dec_unique.val, uni.val);
+        }
+      }
+      for (size_t i = 1; i < frames.size(); ++i) {
+        ASSERT_EQ(frames[0], frames[i])
+            << "kernel #" << i << " encoded different bytes";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gluefl
