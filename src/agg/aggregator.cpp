@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "telemetry/telemetry.h"
 #include "tensor/ops.h"
 
 namespace gluefl {
@@ -133,6 +134,7 @@ void reduce_slice(const std::vector<SparseDelta>& deltas, float* out,
 
 void DenseAggregator::reduce(const std::vector<SparseDelta>& deltas,
                              float* out, size_t dim) const {
+  telemetry::Span span("aggregate");
   validate_deltas(deltas, dim);
   reduce_slice(deltas, out, 0, dim);
 }
@@ -145,6 +147,7 @@ ShardedAggregator::ShardedAggregator(int shards, int threads)
 
 void ShardedAggregator::reduce(const std::vector<SparseDelta>& deltas,
                                float* out, size_t dim) const {
+  telemetry::Span span("aggregate");
   validate_deltas(deltas, dim);
   if (dim == 0 || deltas.empty()) return;
 

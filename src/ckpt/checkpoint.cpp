@@ -1,5 +1,6 @@
 #include "ckpt/checkpoint.h"
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <utility>
@@ -8,6 +9,7 @@
 #include "fl/async_engine.h"
 #include "fl/engine.h"
 #include "fl/strategy.h"
+#include "telemetry/telemetry.h"
 
 namespace gluefl::ckpt {
 
@@ -131,6 +133,11 @@ Snapshot snapshot_of(const SimEngine& engine, int next_round,
     async_state->save_state(aw);
     snap.async_state = aw.take();
   }
+  // Sim-class counters at the boundary: restoring them on resume is what
+  // keeps the resumed run's "telemetry" JSON block byte-identical to the
+  // uninterrupted run's (zeros when telemetry is disabled, e.g. library
+  // users snapshotting outside the CLI).
+  snap.telemetry = telemetry::sim_values();
   return snap;
 }
 
@@ -165,6 +172,13 @@ std::vector<uint8_t> encode_snapshot(const Snapshot& snap) {
   w.blob(snap.strategy_state);
   w.u8(snap.has_async ? 1 : 0);
   if (snap.has_async) w.blob(snap.async_state);
+  // Telemetry section: always exactly kNumSimValues entries so hand-built
+  // Snapshots (tests) with an empty vector still encode a valid v3 frame.
+  w.varint(static_cast<uint64_t>(telemetry::kNumSimValues));
+  for (int i = 0; i < telemetry::kNumSimValues; ++i) {
+    const size_t idx = static_cast<size_t>(i);
+    w.u64(idx < snap.telemetry.size() ? snap.telemetry[idx] : 0);
+  }
 
   std::vector<uint8_t> out = w.take();
   const uint64_t payload_len = out.size() - kHeaderBytes;
@@ -229,11 +243,23 @@ Snapshot decode_snapshot(const uint8_t* data, size_t size) {
   snap.strategy_state = r.blob();
   snap.has_async = r.u8() != 0;
   if (snap.has_async) snap.async_state = r.blob();
+  const uint64_t ntel = r.varint_max(4096, "telemetry counter count");
+  if (ntel != static_cast<uint64_t>(telemetry::kNumSimValues)) {
+    fail("checkpoint telemetry section has " + std::to_string(ntel) +
+         " counters (this binary expects " +
+         std::to_string(telemetry::kNumSimValues) + ")");
+  }
+  snap.telemetry.resize(static_cast<size_t>(ntel));
+  for (uint64_t i = 0; i < ntel; ++i) {
+    snap.telemetry[static_cast<size_t>(i)] = r.u64();
+  }
   r.expect_end("checkpoint");
   return snap;
 }
 
 void save_checkpoint(const std::string& path, const Snapshot& snap) {
+  telemetry::Span span("ckpt.save");
+  const auto t0 = std::chrono::steady_clock::now();
   const std::vector<uint8_t> bytes = encode_snapshot(snap);
   const std::string tmp = path + ".tmp";
   {
@@ -252,9 +278,18 @@ void save_checkpoint(const std::string& path, const Snapshot& snap) {
     std::remove(tmp.c_str());
     fail("cannot rename checkpoint '" + tmp + "' onto '" + path + "'");
   }
+  telemetry::count(telemetry::kCkptSaves);
+  telemetry::count(
+      telemetry::kCkptSaveMs,
+      static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count()));
 }
 
 Snapshot load_checkpoint(const std::string& path) {
+  telemetry::Span span("ckpt.load");
+  const auto t0 = std::chrono::steady_clock::now();
+  telemetry::count(telemetry::kCkptLoads);
   std::ifstream f(path, std::ios::binary | std::ios::ate);
   if (!f) fail("cannot open checkpoint '" + path + "'");
   const std::streamoff size = f.tellg();
@@ -266,7 +301,13 @@ Snapshot load_checkpoint(const std::string& path) {
   if (!f.good() || f.gcount() != static_cast<std::streamsize>(bytes.size())) {
     fail("cannot read checkpoint '" + path + "'");
   }
-  return decode_snapshot(bytes.data(), bytes.size());
+  Snapshot snap = decode_snapshot(bytes.data(), bytes.size());
+  telemetry::count(
+      telemetry::kCkptLoadMs,
+      static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count()));
+  return snap;
 }
 
 std::string checkpoint_path(const std::string& dir, int boundary) {

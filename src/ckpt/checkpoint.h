@@ -19,16 +19,21 @@
 //
 // File layout (little-endian; Writer/Reader conventions from ckpt/io.h):
 //
-//   File    := magic u32 ("GFCK") | format u8 (=2) | reserved u8 (=0)
+//   File    := magic u32 ("GFCK") | format u8 (=3) | reserved u8 (=0)
 //              | crc32 u32 (of payload) | payload_len u64 | payload
 //   payload := meta | core | sync blob | history | strategy | async
-//     meta     := npairs varint | (key str, value str)*
-//     core     := seed u64 | dim varint | stat_dim varint
+//              | telemetry
+//     meta      := npairs varint | (key str, value str)*
+//     core      := seed u64 | dim varint | stat_dim varint
 //                 | num_clients varint | rounds varint | next_round varint
 //                 | params f32s | stats f32s
-//     history  := nrecords varint | RoundRecord*
-//     strategy := id str | state blob
-//     async    := present u8 | [state blob]
+//     history   := nrecords varint | RoundRecord*
+//     strategy  := id str | state blob
+//     async     := present u8 | [state blob]
+//     telemetry := count varint | u64 * count   (sim-class counters at the
+//                  boundary, telemetry::sim_values() order; restored on
+//                  resume so the JSON "telemetry" block stays byte-
+//                  identical to the uninterrupted run)
 //
 // Versioning rules: `format` bumps on ANY layout change, including a
 // change to a component's save_state byte sequence; decoders reject
@@ -60,7 +65,8 @@ inline constexpr uint32_t kMagic = 0x4B434647;  // "GFCK"
 /// Format 2: the SyncTracker section became a sparse id->round map and
 /// the async section dropped the dense in-flight flag vector (both
 /// per-client-dense layouts died with the virtual-population refactor).
-inline constexpr uint8_t kFormatVersion = 2;
+/// Format 3: appended the sim-class telemetry counter section.
+inline constexpr uint8_t kFormatVersion = 3;
 inline constexpr size_t kHeaderBytes = 18;
 
 /// RoundRecord serialization shared by the history and async sections
@@ -87,6 +93,9 @@ struct Snapshot {
   std::vector<uint8_t> strategy_state;
   bool has_async = false;
   std::vector<uint8_t> async_state;
+  /// Sim-class telemetry counters at the boundary (telemetry::sim_values()
+  /// order; zeros when telemetry was disabled at save time).
+  std::vector<uint64_t> telemetry;
 };
 
 /// Captures a snapshot of a live run at the boundary `next_round`.

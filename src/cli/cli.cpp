@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <memory>
@@ -16,6 +17,7 @@
 #include "analysis/report.h"
 #include "ckpt/checkpoint.h"
 #include "common/check.h"
+#include "common/json.h"
 #include "common/provenance.h"
 #include "common/table.h"
 #include "data/presets.h"
@@ -24,6 +26,8 @@
 #include "nn/proxies.h"
 #include "strategies/factory.h"
 #include "strategies/gluefl.h"
+#include "telemetry/profile.h"
+#include "telemetry/telemetry.h"
 #include "wire/kernels.h"
 
 namespace gluefl::cli {
@@ -40,14 +44,18 @@ class UsageError : public std::runtime_error {
 constexpr const char* kUsage = R"(usage: gluefl <command> [flags]
 
 commands:
-  list    enumerate strategies, dataset presets, network envs and models
+  list    enumerate strategies, dataset presets, network envs and models;
+          --metrics prints the telemetry metric registry instead
   run     train one strategy on one workload, print report + JSON summary
   sweep   grid-search GlueFL's q / q_shr / sticky parameters
   resume  continue an interrupted run from a checkpoint:
             gluefl resume CKPT [--threads N] [--json FILE]
+                   [--trace FILE] [--metrics FILE]
                    [--checkpoint-every N --checkpoint-dir D]
                    [--crash-at-round K]
           the final report/JSON is byte-identical to the uninterrupted run
+  profile compare the telemetry blocks of two JSON summaries:
+            gluefl profile A.json B.json
   help    show this message
 
 run flags:
@@ -79,9 +87,14 @@ run flags:
                      payloads, price measured bytes) | analytic
                      (pre-wire size formulas, for A/B)           [encoded]
   --json FILE        also write the JSON summary to FILE
+  --trace FILE       write a Chrome trace-event JSON file to FILE (open in
+                     Perfetto / chrome://tracing): wall-clock spans for
+                     every round phase plus a simulated-clock timeline
+  --metrics FILE     stream cumulative per-round metrics to FILE as JSONL
   --dry-run          validate flags and configuration, then exit without
-                     running anything (accepted by run, sweep and resume;
-                     skips checkpoint-directory probing and loading)
+                     running anything (accepted by run, sweep, resume and
+                     profile; skips checkpoint-directory probing, file
+                     probing and loading)
   --checkpoint-every N  save a resumable snapshot every N rounds
                         (requires --checkpoint-dir)
   --checkpoint-dir D    existing, writable directory for snapshots
@@ -105,6 +118,7 @@ sweep flags (plus --dataset/--model/--env/--rounds/--scale/--seed/
   --sticky-s LIST    sticky group sizes S (absolute client counts)
   --sticky-c LIST    sticky participants per round C
   --json FILE        also write the JSON summary to FILE
+  --trace FILE / --metrics FILE  as for run (spans cover every arm)
   with --exec=async the grid is --async-buffer LIST x --staleness-alpha LIST
 )";
 
@@ -293,6 +307,8 @@ RunOptions resolve_common(Flags& flags) {
   opt.topology = flags.str("topology", opt.topology);
   opt.wire = flags.str("wire", opt.wire);
   opt.json_path = flags.str("json", "");
+  opt.trace_path = flags.str("trace", "");
+  opt.metrics_path = flags.str("metrics", "");
 
   require_name("dataset", opt.dataset, dataset_names());
   require_name("model", opt.model, model_names());
@@ -634,7 +650,12 @@ std::string jnum(double v) {
   return os.str();
 }
 
-std::string jstr(const std::string& s) { return "\"" + json_escape(s) + "\""; }
+std::string jstr(const std::string& s) {
+  std::string out = "\"";
+  out += json_escape(s);
+  out += '"';
+  return out;
+}
 
 /// Build provenance block: identifies the binary that produced a summary
 /// (resumed runs embed the CURRENT binary's provenance, so same-binary
@@ -691,6 +712,49 @@ std::string async_json(const AsyncOptions& a) {
   return os.str();
 }
 
+/// The "telemetry" block of run/sweep/resume JSON summaries. Only
+/// sim-class material may appear here: phase times are summed from the
+/// (resume-stable) round records at emission time, and the counters /
+/// histogram come from telemetry::sim_values(), which checkpoints restore
+/// — so the block honours the same byte-identity contracts as the rest of
+/// the summary (tracing on/off, thread count, resume).
+std::string telemetry_block_json(double down_s, double compute_s, double up_s,
+                                 double wall_s) {
+  std::ostringstream os;
+  os << "{\"schema\": \"gluefl.telemetry.v1\", \"phases_sim_s\": {\"down\": "
+     << jnum(down_s) << ", \"compute\": " << jnum(compute_s)
+     << ", \"up\": " << jnum(up_s) << ", \"wall\": " << jnum(wall_s)
+     << "}, \"counters\": " << telemetry::sim_counters_json()
+     << ", \"wire.mask.run_len\": " << telemetry::mask_hist_json() << "}";
+  return os.str();
+}
+
+std::string telemetry_json(const RunResult& res) {
+  double down = 0.0, compute = 0.0, up = 0.0, wall = 0.0;
+  for (const auto& r : res.rounds) {
+    down += r.down_time_s;
+    compute += r.compute_time_s;
+    up += r.up_time_s;
+    wall += r.wall_time_s;
+  }
+  return telemetry_block_json(down, compute, up, wall);
+}
+
+/// Sweep variant: phase times summed across every arm's rounds (the
+/// counters are process-cumulative across arms already).
+std::string telemetry_json(const std::vector<LabeledRun>& runs) {
+  double down = 0.0, compute = 0.0, up = 0.0, wall = 0.0;
+  for (const auto& lr : runs) {
+    for (const auto& r : lr.result.rounds) {
+      down += r.down_time_s;
+      compute += r.compute_time_s;
+      up += r.up_time_s;
+      wall += r.wall_time_s;
+    }
+  }
+  return telemetry_block_json(down, compute, up, wall);
+}
+
 std::string run_json(const RunOptions& opt, const std::string& strategy,
                      const SyntheticSpec& spec, int k, long population,
                      double peak_rss_est_mb, const RunResult& res,
@@ -712,19 +776,64 @@ std::string run_json(const RunOptions& opt, const std::string& strategy,
      << ", \"peak_rss_est_mb\": " << jnum(peak_rss_est_mb)
      << ", \"provenance\": " << provenance_json();
   if (!async_block.empty()) os << ", \"async\": " << async_block;
-  os << ", \"best_accuracy\": " << jnum(res.best_accuracy())
+  os << ", \"telemetry\": " << telemetry_json(res)
+     << ", \"best_accuracy\": " << jnum(res.best_accuracy())
      << ", \"totals\": " << totals_json(totals)
      << ", \"trajectory\": " << trajectory_json(res) << "}";
   return os.str();
+}
+
+/// "': <strerror text>'" suffix for file-open failures; empty when errno
+/// was not set (so the message never invents a cause).
+std::string errno_suffix(int saved_errno) {
+  if (saved_errno == 0) return "";
+  return std::string(": ") + std::strerror(saved_errno);
 }
 
 void emit_json(const std::string& json, const std::string& path,
                std::ostream& out) {
   out << "\nJSON summary:\n" << json << "\n";
   if (path.empty()) return;
+  errno = 0;
   std::ofstream f(path);
-  if (!f) throw UsageError("cannot open --json file '" + path + "' for writing");
+  if (!f) {
+    throw UsageError("cannot open --json file '" + path + "' for writing" +
+                     errno_suffix(errno));
+  }
   f << json << "\n";
+}
+
+/// Eagerly validates that an output file named by --json / --trace /
+/// --metrics can be created, BEFORE any (possibly expensive) rounds run —
+/// same philosophy as the checkpoint-directory probe: a bad path must not
+/// cost a finished campaign its summary. The probe opens in append mode
+/// so an existing file's contents survive; a file the probe itself
+/// created is removed again.
+void validate_output_path(const std::string& key, const std::string& path) {
+  if (path.empty()) return;
+  const bool existed = static_cast<bool>(std::ifstream(path));
+  errno = 0;
+  std::ofstream f(path, std::ios::app);
+  const bool ok = f.good();
+  const int saved_errno = errno;
+  f.close();
+  if (!ok) {
+    throw UsageError("cannot open --" + key + " file '" + path +
+                     "' for writing" + errno_suffix(saved_errno));
+  }
+  if (!existed) std::remove(path.c_str());
+}
+
+/// Whole-file read for `gluefl profile` inputs.
+std::string read_text_file(const std::string& path) {
+  errno = 0;
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    throw UsageError("cannot read '" + path + "'" + errno_suffix(errno));
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
 }
 
 /// Shared tail of `run` and `resume`: the per-eval report table, the
@@ -829,8 +938,11 @@ ParsedArgs parse_args(const std::vector<std::string>& args) {
     if (const size_t eq = key.find('='); eq != std::string::npos) {
       value = key.substr(eq + 1);
       key = key.substr(0, eq);
-    } else if (key == "dry-run") {
-      // Boolean flags never consume the next token.
+    } else if (key == "dry-run" ||
+               (key == "metrics" && p.command == "list")) {
+      // Boolean flags never consume the next token. `--metrics` is a
+      // value flag everywhere (the JSONL sink path) EXCEPT under `list`,
+      // where the bare form selects the metric-registry listing.
       value = "1";
     } else {
       if (i + 1 >= args.size()) {
@@ -852,11 +964,44 @@ ParsedArgs parse_args(const std::vector<std::string>& args) {
   return p;
 }
 
+const char* metric_kind_str(telemetry::MetricKind kind) {
+  switch (kind) {
+    case telemetry::MetricKind::kCounter: return "counter";
+    case telemetry::MetricKind::kGauge: return "gauge";
+    case telemetry::MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+const char* metric_class_str(telemetry::MetricClass cls) {
+  switch (cls) {
+    case telemetry::MetricClass::kSim: return "sim";
+    case telemetry::MetricClass::kProcess: return "process";
+    case telemetry::MetricClass::kWall: return "wall";
+  }
+  return "?";
+}
+
 int cmd_list(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   (void)err;
   reject_positionals(args);
   Flags flags(args.flags);
+  const bool metrics = flags.flag("metrics");
   flags.reject_unknown();
+
+  if (metrics) {
+    out << "telemetry metrics (sim metrics appear in JSON summaries; "
+           "process/wall only in --metrics JSONL and traces):\n";
+    TablePrinter t;
+    t.set_headers({"name", "kind", "class", "description"});
+    const telemetry::MetricDef* defs = telemetry::metric_defs();
+    for (int i = 0; i < telemetry::num_metric_defs(); ++i) {
+      t.add_row({defs[i].name, metric_kind_str(defs[i].kind),
+                 metric_class_str(defs[i].cls), defs[i].desc});
+    }
+    out << t.to_string();
+    return 0;
+  }
 
   out << "strategies:\n";
   TablePrinter s;
@@ -934,6 +1079,10 @@ int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
         << opt.model << " — flags OK\n";
     return 0;
   }
+  validate_output_path("json", opt.json_path);
+  validate_output_path("trace", opt.trace_path);
+  validate_output_path("metrics", opt.metrics_path);
+  telemetry::configure({opt.trace_path, opt.metrics_path});
   SimEngine engine = make_cli_engine(opt, spec, k, topk);
   const double rss_mb =
       static_cast<double>(engine.memory_estimate_bytes()) / (1024.0 * 1024.0);
@@ -981,9 +1130,12 @@ int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
       res = engine.run(*strategy, hook.get());
     }
   } catch (const ckpt::SimulatedCrash& crash) {
+    // The trace/JSONL written so far is exactly what a post-mortem needs.
+    telemetry::finalize();
     return report_simulated_crash(crash, out);
   }
 
+  telemetry::finalize();
   emit_run_report(opt, strategy_name, spec, k, pop, rss_mb, res,
                   async ? &aopt : nullptr, out);
   return 0;
@@ -999,6 +1151,8 @@ int cmd_resume(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   const std::string path = args.positionals.front();
   const long threads_override = flags.integer("threads", -1, 0, 1024);
   const std::string json_path = flags.str("json", "");
+  const std::string trace_path = flags.str("trace", "");
+  const std::string metrics_path = flags.str("metrics", "");
   if (dry_run) {
     // Validate resume's own flags without touching the snapshot (which
     // need not exist yet when a command line is being vetted).
@@ -1010,7 +1164,15 @@ int cmd_resume(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     return 0;
   }
 
+  validate_output_path("json", json_path);
+  validate_output_path("trace", trace_path);
+  validate_output_path("metrics", metrics_path);
+  telemetry::configure({trace_path, metrics_path});
+
   const ckpt::Snapshot snap = ckpt::load_checkpoint(path);
+  // Restore the sim-class counters to the boundary so the resumed run's
+  // "telemetry" block comes out byte-identical to the uninterrupted one.
+  telemetry::set_sim_values(snap.telemetry);
 
   // Reconstruct the resolved options of the original run from the
   // checkpoint meta; the echoed JSON must come out byte-identical.
@@ -1052,6 +1214,8 @@ int cmd_resume(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   opt.wire = meta_get(snap, "wire");
   require_meta_name(snap, "wire", {"encoded", "analytic"});
   opt.json_path = json_path;
+  opt.trace_path = trace_path;
+  opt.metrics_path = metrics_path;
   resolve_checkpoint_flags(flags, opt);
   flags.reject_unknown();
   // A crash boundary the resumed run will never reach is a silent no-op
@@ -1140,9 +1304,11 @@ int cmd_resume(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
                             ckpt::history_result(snap), hook.get());
     }
   } catch (const ckpt::SimulatedCrash& crash) {
+    telemetry::finalize();
     return report_simulated_crash(crash, out);
   }
 
+  telemetry::finalize();
   emit_run_report(opt, strategy_name, spec, k, pop, rss_mb, res,
                   async ? &aopt : nullptr, out);
   return 0;
@@ -1193,6 +1359,10 @@ int cmd_sweep_async(Flags& flags, const RunOptions& opt, bool dry_run,
     out << "dry-run: async sweep (" << arms << " arms) — flags OK\n";
     return 0;
   }
+  validate_output_path("json", opt.json_path);
+  validate_output_path("trace", opt.trace_path);
+  validate_output_path("metrics", opt.metrics_path);
+  telemetry::configure({opt.trace_path, opt.metrics_path});
 
   out << "sweep: async-fedbuff on " << opt.dataset << " x " << opt.model
       << " over " << opt.env << " (N=" << pop << ", conc=" << conc
@@ -1226,6 +1396,7 @@ int cmd_sweep_async(Flags& flags, const RunOptions& opt, bool dry_run,
       << "):\n"
       << make_cost_table(runs, target).to_string();
 
+  telemetry::finalize();
   std::ostringstream json;
   json << "{\"schema\": \"gluefl.sweep.v1\", \"exec\": \"async\""
        << ", \"dataset\": " << jstr(opt.dataset)
@@ -1238,6 +1409,7 @@ int cmd_sweep_async(Flags& flags, const RunOptions& opt, bool dry_run,
        << ", \"population_mode\": " << jstr(opt.population_mode)
        << ", \"peak_rss_est_mb\": " << jnum(rss_mb)
        << ", \"provenance\": " << provenance_json()
+       << ", \"telemetry\": " << telemetry_json(runs)
        << ", \"rounds\": " << opt.rounds << ", \"concurrency\": " << conc
        << ", \"staleness\": " << jstr(base.staleness)
        << ", \"target_accuracy\": " << jnum(target) << ", \"arms\": [";
@@ -1307,6 +1479,10 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     out << "dry-run: sweep (" << arms << " arms) — flags OK\n";
     return 0;
   }
+  validate_output_path("json", opt.json_path);
+  validate_output_path("trace", opt.trace_path);
+  validate_output_path("metrics", opt.metrics_path);
+  telemetry::configure({opt.trace_path, opt.metrics_path});
 
   out << "sweep: gluefl on " << opt.dataset << " x " << opt.model << " over "
       << opt.env << " (N=" << pop << ", K=" << k << ", "
@@ -1347,6 +1523,7 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
       << "):\n"
       << make_cost_table(runs, target).to_string();
 
+  telemetry::finalize();
   std::ostringstream json;
   json << "{\"schema\": \"gluefl.sweep.v1\", \"exec\": \"sync\""
        << ", \"dataset\": " << jstr(opt.dataset)
@@ -1359,6 +1536,7 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
        << ", \"population_mode\": " << jstr(opt.population_mode)
        << ", \"peak_rss_est_mb\": " << jnum(rss_mb)
        << ", \"provenance\": " << provenance_json()
+       << ", \"telemetry\": " << telemetry_json(runs)
        << ", \"rounds\": " << opt.rounds
        << ", \"target_accuracy\": " << jnum(target) << ", \"arms\": [";
   for (size_t i = 0; i < runs.size(); ++i) {
@@ -1374,8 +1552,40 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// `gluefl profile A.json B.json`: diffs the telemetry blocks of two run /
+/// sweep / resume JSON summaries (see src/telemetry/profile.h).
+int cmd_profile(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  (void)err;
+  Flags flags(args.flags);
+  const bool dry_run = flags.flag("dry-run");
+  flags.reject_unknown();
+  if (args.positionals.size() != 2) {
+    throw UsageError(
+        "profile expects two JSON summaries: gluefl profile A.json B.json");
+  }
+  const std::string& path_a = args.positionals[0];
+  const std::string& path_b = args.positionals[1];
+  if (dry_run) {
+    out << "dry-run: profile " << path_a << " vs " << path_b
+        << " — flags OK\n";
+    return 0;
+  }
+  const std::string doc_a = read_text_file(path_a);
+  const std::string doc_b = read_text_file(path_b);
+  try {
+    out << telemetry::diff_profiles(doc_a, doc_b, path_a, path_b);
+  } catch (const json::JsonError& e) {
+    // Malformed input files are the user's to fix: usage error, exit 2.
+    throw UsageError("profile: " + std::string(e.what()));
+  }
+  return 0;
+}
+
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
+  // Telemetry is process-global; a fresh command starts from a clean,
+  // disabled registry (tests drive run_cli repeatedly in one process).
+  telemetry::reset();
   const ParsedArgs parsed = parse_args(args);
   if (!parsed.error.empty()) {
     err << "error: " << parsed.error << "\n" << kUsage;
@@ -1393,6 +1603,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (parsed.command == "run") return cmd_run(parsed, out, err);
     if (parsed.command == "sweep") return cmd_sweep(parsed, out, err);
     if (parsed.command == "resume") return cmd_resume(parsed, out, err);
+    if (parsed.command == "profile") return cmd_profile(parsed, out, err);
     if (parsed.command == "help" || parsed.command == "--help" ||
         parsed.command == "-h") {
       out << kUsage;

@@ -71,6 +71,10 @@ struct RunOptions {
   int num_edges = 0;              // parsed from topology; 0 = flat
   std::string wire = "encoded";   // byte accounting: encoded | analytic
   std::string json_path;   // empty = stdout only
+  // Telemetry sinks (src/telemetry/, DESIGN.md §10); both empty = counters
+  // only (no trace buffer, no JSONL stream).
+  std::string trace_path;    // Chrome trace-event JSON; empty = off
+  std::string metrics_path;  // per-round cumulative JSONL; empty = off
   // Checkpoint / fault-injection knobs (src/ckpt/, DESIGN.md §8).
   int checkpoint_every = 0;     // save every N rounds; 0 = off
   std::string checkpoint_dir;   // must exist and be writable
@@ -88,6 +92,7 @@ int cmd_list(const ParsedArgs& args, std::ostream& out, std::ostream& err);
 int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err);
 int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err);
 int cmd_resume(const ParsedArgs& args, std::ostream& out, std::ostream& err);
+int cmd_profile(const ParsedArgs& args, std::ostream& out, std::ostream& err);
 
 /// Known registry names (kept in sync with strategies/factory and
 /// data/presets; `gluefl list` prints these).

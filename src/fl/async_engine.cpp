@@ -10,6 +10,7 @@
 #include "compress/encoding.h"
 #include "net/bandwidth.h"
 #include "sampling/sampler.h"
+#include "telemetry/telemetry.h"
 #include "wire/codec.h"
 
 namespace gluefl {
@@ -300,6 +301,7 @@ RunResult AsyncSimEngine::run_loop(AsyncStrategy& strategy, AsyncRunState st,
   };
 
   auto aggregate = [&]() {
+    telemetry::Span round_span("round");
     double stale_sum = 0.0;
     for (auto& u : st.buffer) {
       u.staleness = st.version - u.version;
@@ -318,6 +320,9 @@ RunResult AsyncSimEngine::run_loop(AsyncStrategy& strategy, AsyncRunState st,
       st.rec.test_acc = eng.evaluate().accuracy;
     }
     result.rounds.push_back(st.rec);
+    telemetry::round_boundary(st.rec.round, st.rec.down_time_s,
+                              st.rec.compute_time_s, st.rec.up_time_s,
+                              st.rec.wall_time_s);
     st.rec = RoundRecord{};
     st.buffer.clear();
     ++st.version;

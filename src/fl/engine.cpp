@@ -10,6 +10,7 @@
 #include "compress/encoding.h"
 #include "net/bandwidth.h"
 #include "nn/optimizer.h"
+#include "telemetry/telemetry.h"
 #include "tensor/ops.h"
 #include "wire/codec.h"
 
@@ -191,6 +192,7 @@ Participation SimEngine::simulate_participation(
     const std::function<size_t(int)>& down_bytes_fn,
     const std::function<size_t(int)>& up_bytes_fn, RoundRecord& rec,
     bool defer_uplink) {
+  telemetry::Span span("transfer_price");
   struct Timed {
     int id = 0;
     double dt = 0.0, ct = 0.0, ut = 0.0, finish = 0.0;
@@ -329,6 +331,7 @@ Participation SimEngine::simulate_participation(
 void SimEngine::price_uplinks(const Participation& part,
                               const std::function<size_t(int)>& up_bytes_fn,
                               RoundRecord& rec) {
+  telemetry::Span span("transfer_price");
   const HierarchicalTopology* topo = topology_.get();
   const std::vector<int> included = part.all();
   GLUEFL_CHECK_MSG(included.size() == part.ready_s.size(),
@@ -472,6 +475,7 @@ void SimEngine::train_one(Worker& w, int client, double lr, Rng rng,
 std::vector<LocalResult> SimEngine::train_batch(
     const std::vector<int>& clients, double lr,
     const std::function<Rng(size_t)>& rng_at) {
+  telemetry::Span span("local_train");  // whole cohort, worker pool inside
   std::vector<LocalResult> results(clients.size());
   const int nthreads =
       std::min<int>(num_threads_, static_cast<int>(clients.size()));
@@ -514,6 +518,7 @@ std::vector<LocalResult> SimEngine::local_train_seq(
 }
 
 EvalResult SimEngine::evaluate() {
+  telemetry::Span span("eval");
   return proxy_.model.evaluate(
       params_.data(), stats_.data(), dataset_.test_x.data(),
       dataset_.test_y.data(), static_cast<int>(dataset_.test_y.size()),
@@ -544,11 +549,16 @@ RunResult SimEngine::run_rounds(Strategy& strategy, int first_round,
   for (int t = first_round; t < run_cfg_.rounds; ++t) {
     RoundRecord rec;
     rec.round = t;
-    strategy.run_round(*this, t, rec);
-    if (t % run_cfg_.eval_every == 0 || t + 1 == run_cfg_.rounds) {
-      rec.test_acc = evaluate().accuracy;
+    {
+      telemetry::Span round_span("round");
+      strategy.run_round(*this, t, rec);
+      if (t % run_cfg_.eval_every == 0 || t + 1 == run_cfg_.rounds) {
+        rec.test_acc = evaluate().accuracy;
+      }
     }
     result.rounds.push_back(rec);
+    telemetry::round_boundary(t, rec.down_time_s, rec.compute_time_s,
+                              rec.up_time_s, rec.wall_time_s);
     if (hook != nullptr) {
       hook->on_round_end(*this, t, result, /*async_state=*/nullptr);
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "telemetry/telemetry.h"
 
 namespace gluefl {
 
@@ -41,7 +42,17 @@ ClientDirectory::ClientDirectory(int64_t population, int horizon,
 ClientProfile ClientDirectory::profile(int64_t client) const {
   GLUEFL_CHECK(client >= 0 && client < population_);
   if (materialize_) return profiles_[static_cast<size_t>(client)];
-  if (const ClientProfile* hit = profile_cache_.find(client)) return *hit;
+  if (const ClientProfile* hit = profile_cache_.find(client)) {
+    telemetry::count(telemetry::kDirProfileHits);
+    return *hit;
+  }
+  // Eviction is re-derivation-only by construction: the evicted entry is
+  // a pure function of (profile stream, client id) and comes back
+  // bit-identical on the next miss (asserted in tests/test_telemetry.cpp).
+  telemetry::count(telemetry::kDirProfileMisses);
+  if (profile_cache_.at_capacity()) {
+    telemetry::count(telemetry::kDirProfileEvictions);
+  }
   return profile_cache_.insert(client,
                                derive_profile(client, env_, profile_rng_));
 }
@@ -68,10 +79,18 @@ bool ClientDirectory::available(int64_t client, int round) const {
     return trace_->available(static_cast<int>(client), round);
   }
   Chain* chain = chain_cache_.find(client);
-  if (chain == nullptr || chain->pos > round) {
+  if (chain != nullptr && chain->pos <= round) {
+    telemetry::count(telemetry::kDirChainHits);
+  } else {
     // Miss, or an out-of-order query behind the cached position: replay
     // the chain from its seed. Determinism is unaffected — the chain is a
-    // pure function of (avail stream, client).
+    // pure function of (avail stream, client). Both cases count as a
+    // miss (the chain is re-derived); only an absent key at capacity
+    // evicts (re-inserting an existing key replaces in place).
+    telemetry::count(telemetry::kDirChainMisses);
+    if (chain == nullptr && chain_cache_.at_capacity()) {
+      telemetry::count(telemetry::kDirChainEvictions);
+    }
     chain = &chain_cache_.insert(client, start_chain(client));
   }
   while (chain->pos < round) advance(*chain);

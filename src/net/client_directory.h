@@ -67,6 +67,10 @@ class LruCache {
 
   size_t size() const { return map_.size(); }
 
+  /// True when the next insert of an ABSENT key will evict the LRU entry
+  /// (telemetry counts evictions through this before inserting).
+  bool at_capacity() const { return capacity_ > 0 && map_.size() >= capacity_; }
+
  private:
   struct Entry {
     V value;

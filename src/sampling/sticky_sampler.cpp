@@ -5,6 +5,7 @@
 
 #include "ckpt/io.h"
 #include "common/check.h"
+#include "telemetry/telemetry.h"
 
 namespace gluefl {
 
@@ -31,6 +32,7 @@ StickySampler::StickySampler(int64_t num_clients, StickyConfig cfg,
 
 CandidateSet StickySampler::invite(int /*round*/, int k, double overcommit,
                                    Rng& rng, const AvailabilityFn& available) {
+  telemetry::Span span("sample");
   GLUEFL_CHECK(k > 0 && k <= num_clients_);
   GLUEFL_CHECK(cfg_.sticky_per_round <= k);
   GLUEFL_CHECK(overcommit >= 1.0);

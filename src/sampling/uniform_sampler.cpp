@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "telemetry/telemetry.h"
 
 namespace gluefl {
 
@@ -13,6 +14,7 @@ UniformSampler::UniformSampler(int64_t num_clients)
 
 CandidateSet UniformSampler::invite(int /*round*/, int k, double overcommit,
                                     Rng& rng, const AvailabilityFn& available) {
+  telemetry::Span span("sample");
   GLUEFL_CHECK(k > 0 && k <= num_clients_);
   GLUEFL_CHECK(overcommit >= 1.0);
   const int want = static_cast<int>(std::ceil(overcommit * k));

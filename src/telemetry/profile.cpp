@@ -1,0 +1,99 @@
+#include "telemetry/profile.h"
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "common/json.h"
+#include "common/table.h"
+
+namespace gluefl {
+namespace telemetry {
+
+namespace {
+
+/// Accepts a full run/sweep summary or a bare telemetry block.
+const json::Value& telemetry_block(const json::Value& doc,
+                                  const std::string& label) {
+  if (!doc.is_object()) {
+    throw json::JsonError("'" + label + "' is not a JSON object");
+  }
+  const json::Value* t = doc.find("telemetry");
+  if (t != nullptr) return *t;
+  if (doc.find("phases_sim_s") != nullptr) return doc;
+  throw json::JsonError("'" + label +
+                        "' has no \"telemetry\" block (was it produced "
+                        "with --json by this gluefl version?)");
+}
+
+std::string pct_delta(double a, double b) {
+  if (a == 0.0) return b == 0.0 ? "0.0%" : "n/a";
+  return fmt_percent(b / a - 1.0);
+}
+
+std::string num(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string diff_profiles(const std::string& doc_a, const std::string& doc_b,
+                          const std::string& label_a,
+                          const std::string& label_b) {
+  const json::Value a_doc = json::parse(doc_a);
+  const json::Value b_doc = json::parse(doc_b);
+  const json::Value& a = telemetry_block(a_doc, label_a);
+  const json::Value& b = telemetry_block(b_doc, label_b);
+
+  std::ostringstream out;
+  out << "Telemetry profile diff\n  A: " << label_a << "\n  B: " << label_b
+      << "\n";
+
+  const json::Value& pa = a.at("phases_sim_s");
+  const json::Value& pb = b.at("phases_sim_s");
+  TablePrinter phases;
+  phases.set_headers({"phase (sim s)", "A", "B", "delta", "B vs A"});
+  for (const auto& kv : pa.obj) {
+    const json::Value* other = pb.find(kv.first);
+    const double va = kv.second.number;
+    const double vb = other != nullptr ? other->number : 0.0;
+    phases.add_row({kv.first, num(va), num(vb), num(vb - va),
+                    pct_delta(va, vb)});
+  }
+  out << "\nsim phases:\n" << phases.to_string();
+
+  const json::Value& ca = a.at("counters");
+  const json::Value& cb = b.at("counters");
+  TablePrinter counters;
+  counters.set_headers({"counter", "A", "B", "delta", "B vs A"});
+  for (const auto& kv : ca.obj) {
+    const json::Value* other = cb.find(kv.first);
+    const double va = kv.second.number;
+    const double vb = other != nullptr ? other->number : 0.0;
+    counters.add_row({kv.first, num(va), num(vb), num(vb - va),
+                      pct_delta(va, vb)});
+  }
+  for (const auto& kv : cb.obj) {
+    if (ca.find(kv.first) == nullptr) {
+      counters.add_row({kv.first, "0", num(kv.second.number),
+                        num(kv.second.number), "n/a"});
+    }
+  }
+  out << "\nsim counters:\n" << counters.to_string();
+
+  // Byte totals get a human-readable summary line: the headline number
+  // a trajectory reader wants first.
+  const json::Value* ea = ca.find("wire.encode.bytes");
+  const json::Value* eb = cb.find("wire.encode.bytes");
+  if (ea != nullptr && eb != nullptr) {
+    out << "\nencoded bytes: " << fmt_bytes(ea->number) << " -> "
+        << fmt_bytes(eb->number) << " (" << pct_delta(ea->number, eb->number)
+        << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace telemetry
+}  // namespace gluefl

@@ -1,0 +1,21 @@
+// Run-profile differ backing `gluefl profile A.json B.json`: compares
+// the "telemetry" blocks of two run/sweep/resume JSON summaries and
+// renders the phase-time and byte/counter deltas, so two points on a
+// BENCH trajectory (or two strategy arms) become explainable.
+#pragma once
+
+#include <string>
+
+namespace gluefl {
+namespace telemetry {
+
+/// Diffs two JSON summary documents (each either a full summary with a
+/// "telemetry" member, or a bare telemetry block) and returns a printed
+/// report. Labels name the two sides in the output. Throws
+/// json::JsonError when a document is malformed or has no telemetry.
+std::string diff_profiles(const std::string& doc_a, const std::string& doc_b,
+                          const std::string& label_a,
+                          const std::string& label_b);
+
+}  // namespace telemetry
+}  // namespace gluefl

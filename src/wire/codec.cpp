@@ -6,9 +6,42 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "telemetry/telemetry.h"
 #include "wire/kernels.h"
 
 namespace gluefl::wire {
+
+namespace {
+
+/// Per-kernel value counters: the quantized ValueBlock transform is the
+/// only path that goes through a dispatched kernel, so fp32 blocks are
+/// not attributed to any kernel (their bytes still land in
+/// wire.encode.bytes / wire.decode.bytes).
+telemetry::MetricId encode_values_metric() {
+  switch (active_kernel_kind()) {
+    case KernelKind::kSse:
+      return telemetry::kWireEncodeValuesSse;
+    case KernelKind::kAvx2:
+      return telemetry::kWireEncodeValuesAvx2;
+    case KernelKind::kPortable:
+      break;
+  }
+  return telemetry::kWireEncodeValuesPortable;
+}
+
+telemetry::MetricId decode_values_metric() {
+  switch (active_kernel_kind()) {
+    case KernelKind::kSse:
+      return telemetry::kWireDecodeValuesSse;
+    case KernelKind::kAvx2:
+      return telemetry::kWireDecodeValuesAvx2;
+    case KernelKind::kPortable:
+      break;
+  }
+  return telemetry::kWireDecodeValuesPortable;
+}
+
+}  // namespace
 
 namespace {
 
@@ -127,6 +160,9 @@ void read_value_block(Cursor& c, size_t n, std::vector<float>& out) {
   const int bits = c.u8();
   GLUEFL_CHECK_MSG(bits == 32 || (bits >= 1 && bits <= 16),
                    "wire: bad ValueBlock bit width");
+  if (telemetry::enabled() && bits != 32) {
+    telemetry::count(decode_values_metric(), n);
+  }
   out.resize(n);
   if (bits == 32) {
     const uint8_t* raw = c.bytes(n * 4);
@@ -367,8 +403,21 @@ BitMask decode_mask(const uint8_t* data, size_t size) {
 size_t encoded_mask_bytes(const BitMask& m) {
   // Size-only: same run walk as encode_mask, no buffer materialized (this
   // is the downlink-pricing hot path, once per distinct staleness/round).
+  // The run-length histogram is recorded HERE and not in encode_mask:
+  // pricing happens a sim-deterministic number of times per round, while
+  // encode_mask is also reached from checkpoint serialization, whose call
+  // count differs between an uninterrupted and a resumed run (the
+  // sim-class byte-identity contract, DESIGN.md §10).
+  const std::vector<uint64_t> runs = mask_runs(m);
+  if (telemetry::enabled()) {
+    telemetry::count(telemetry::kMaskFrames);
+    for (const uint64_t r : runs) {
+      telemetry::hist_mask_run(static_cast<uint32_t>(
+          std::min<uint64_t>(r, 0xffffffffu)));
+    }
+  }
   return 1 + varint_bytes(m.size()) +
-         std::min(rle_payload_bytes(mask_runs(m)), bitmap_bytes(m.size()));
+         std::min(rle_payload_bytes(runs), bitmap_bytes(m.size()));
 }
 
 size_t encoded_sync_bytes(const BitMask& stale) {
@@ -388,6 +437,7 @@ WireEncoder::WireEncoder(size_t dim, int value_bits, Rng* rng)
   GLUEFL_CHECK(value_bits == 32 || (value_bits >= 1 && value_bits <= 16));
   GLUEFL_CHECK_MSG(value_bits == 32 || rng != nullptr,
                    "wire: quantized encoding needs an Rng");
+  traced_ = telemetry::span_begin(&trace_t0_us_);
   // Header; nsections_ is patched into byte 3 by finish().
   put_u16(buf_, kMagic);
   buf_.push_back(kVersion);
@@ -396,6 +446,9 @@ WireEncoder::WireEncoder(size_t dim, int value_bits, Rng* rng)
 }
 
 void WireEncoder::value_block(const float* v, size_t n) {
+  if (telemetry::enabled() && value_bits_ != 32) {
+    telemetry::count(encode_values_metric(), n);
+  }
   buf_.push_back(static_cast<uint8_t>(value_bits_));
   if (value_bits_ == 32) {
     const size_t start = buf_.size();
@@ -498,6 +551,12 @@ void WireEncoder::add_stats(const float* v, size_t n) {
 std::vector<uint8_t> WireEncoder::finish() {
   GLUEFL_CHECK_MSG(nsections_ > 0, "wire: frame has no sections");
   buf_[3] = nsections_;
+  telemetry::count(telemetry::kWireEncodeFrames);
+  telemetry::count(telemetry::kWireEncodeBytes, buf_.size());
+  if (traced_) {
+    telemetry::span_end("wire.encode", trace_t0_us_);
+    traced_ = false;
+  }
   return std::move(buf_);
 }
 
@@ -505,6 +564,9 @@ std::vector<uint8_t> WireEncoder::finish() {
 
 WireDecoder::WireDecoder(const uint8_t* data, size_t size,
                          size_t expect_dim) {
+  telemetry::Span span("wire.decode");  // the ctor parses the whole frame
+  telemetry::count(telemetry::kWireDecodeFrames);
+  telemetry::count(telemetry::kWireDecodeBytes, size);
   Cursor c{data, size};
   GLUEFL_CHECK_MSG(c.u16() == kMagic, "wire: bad magic");
   GLUEFL_CHECK_MSG(c.u8() == kVersion, "wire: unsupported version");

@@ -132,6 +132,10 @@ class WireEncoder {
   Rng* rng_;
   uint8_t nsections_ = 0;
   uint8_t seen_tags_ = 0;  // bit i set = tag i already added
+  // Telemetry: the encode span runs ctor -> finish() (telemetry.h
+  // span_begin/span_end; both fields are dead when tracing is off).
+  bool traced_ = false;
+  double trace_t0_us_ = 0.0;
   std::vector<uint8_t> buf_;
 };
 

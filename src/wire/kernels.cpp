@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "telemetry/telemetry.h"
 
 namespace gluefl::wire {
 
@@ -174,12 +175,22 @@ const CodecKernel& active_kernel() {
   if (k == nullptr) {
     k = resolve_kernel();
     g_active.store(k, std::memory_order_release);
+    telemetry::instant("wire.kernel.dispatch", k->name);
   }
   return *k;
 }
 
+KernelKind active_kernel_kind() {
+  const CodecKernel* k = &active_kernel();
+  for (const KernelKind kind : {KernelKind::kAvx2, KernelKind::kSse}) {
+    if (kernel_ptr(kind) == k) return kind;
+  }
+  return KernelKind::kPortable;
+}
+
 void force_kernel(KernelKind kind) {
   g_active.store(&kernel(kind), std::memory_order_release);
+  telemetry::instant("wire.kernel.dispatch", kernel(kind).name);
 }
 
 }  // namespace gluefl::wire

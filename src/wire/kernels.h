@@ -72,6 +72,10 @@ std::vector<KernelKind> supported_kernels();
 /// GLUEFL_WIRE_KERNEL env override, else widest CPUID-supported.
 const CodecKernel& active_kernel();
 
+/// The KernelKind of active_kernel() (telemetry attributes per-kernel
+/// value counters through this).
+KernelKind active_kernel_kind();
+
 /// Replaces the active kernel in-process (tests/benches); CheckError when
 /// `kind` is unsupported.
 void force_kernel(KernelKind kind);
