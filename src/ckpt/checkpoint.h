@@ -19,7 +19,7 @@
 //
 // File layout (little-endian; Writer/Reader conventions from ckpt/io.h):
 //
-//   File    := magic u32 ("GFCK") | format u8 (=3) | reserved u8 (=0)
+//   File    := magic u32 ("GFCK") | format u8 (=4) | reserved u8 (=0)
 //              | crc32 u32 (of payload) | payload_len u64 | payload
 //   payload := meta | core | sync blob | history | strategy | async
 //              | telemetry
@@ -66,7 +66,9 @@ inline constexpr uint32_t kMagic = 0x4B434647;  // "GFCK"
 /// the async section dropped the dense in-flight flag vector (both
 /// per-client-dense layouts died with the virtual-population refactor).
 /// Format 3: appended the sim-class telemetry counter section.
-inline constexpr uint8_t kFormatVersion = 3;
+/// Format 4: the telemetry section grew the scenario counters (the CLI
+/// additionally stores the canonical scenario JSON under meta "scenario").
+inline constexpr uint8_t kFormatVersion = 4;
 inline constexpr size_t kHeaderBytes = 18;
 
 /// RoundRecord serialization shared by the history and async sections

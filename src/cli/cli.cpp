@@ -45,7 +45,8 @@ constexpr const char* kUsage = R"(usage: gluefl <command> [flags]
 
 commands:
   list    enumerate strategies, dataset presets, network envs and models;
-          --metrics prints the telemetry metric registry instead
+          --metrics prints the telemetry metric registry instead;
+          --scenarios prints the bundled scenario specs instead
   run     train one strategy on one workload, print report + JSON summary
   sweep   grid-search GlueFL's q / q_shr / sticky parameters
   resume  continue an interrupted run from a checkpoint:
@@ -86,6 +87,12 @@ run flags:
   --wire MODE        byte accounting: encoded (serialize real
                      payloads, price measured bytes) | analytic
                      (pre-wire size formulas, for A/B)           [encoded]
+  --scenario S       fleet-shaping scenario: a bundled name (see
+                     `gluefl list --scenarios`) or a JSON spec
+                     file — device-class mixes, diurnal/trace
+                     availability, reporting deadlines, dropouts
+                     and Byzantine clients (DESIGN.md §11);
+                     validated eagerly, also under --dry-run     [off]
   --json FILE        also write the JSON summary to FILE
   --trace FILE       write a Chrome trace-event JSON file to FILE (open in
                      Perfetto / chrome://tracing): wall-clock spans for
@@ -112,7 +119,7 @@ async run flags (require --exec=async):
 
 sweep flags (plus --dataset/--model/--env/--rounds/--scale/--seed/
              --population/--population-mode/--agg/--agg-shards/
-             --topology/--wire above):
+             --topology/--wire/--scenario above):
   --q LIST           total mask ratios, e.g. 0.1,0.2,0.3
   --q-shr LIST       shared mask ratios, e.g. 0.08,0.16
   --sticky-s LIST    sticky group sizes S (absolute client counts)
@@ -306,6 +313,7 @@ RunOptions resolve_common(Flags& flags) {
   opt.agg_shards = static_cast<int>(flags.integer("agg-shards", 0, 1, 65536));
   opt.topology = flags.str("topology", opt.topology);
   opt.wire = flags.str("wire", opt.wire);
+  opt.scenario = flags.str("scenario", "");
   opt.json_path = flags.str("json", "");
   opt.trace_path = flags.str("trace", "");
   opt.metrics_path = flags.str("metrics", "");
@@ -331,7 +339,23 @@ RunOptions resolve_common(Flags& flags) {
     throw UsageError("--scale must be in (0, 1]");
   }
   if (opt.overcommit < 1.0) throw UsageError("--overcommit must be >= 1.0");
+  // Eager even under --dry-run: a misspelled scenario file must fail when
+  // the command line is vetted, not hundreds of rounds into a campaign.
+  // ScenarioError propagates to run_cli (one clean line, exit code 1).
+  if (!opt.scenario.empty()) {
+    opt.scenario_spec = scenario::load_scenario(opt.scenario);
+  }
   return opt;
+}
+
+/// The run/sweep/resume JSON "scenario" value: the canonical single-line
+/// spec when a scenario is active, JSON null otherwise. Canonicalization
+/// (scenario::to_json) makes the echo independent of how the spec was
+/// given — a file path at run time, checkpoint meta at resume time — which
+/// is what keeps resumed summaries byte-identical.
+std::string scenario_json(const RunOptions& opt) {
+  if (opt.scenario.empty()) return "null";
+  return scenario::to_json(opt.scenario_spec);
 }
 
 /// Async-execution knobs resolved from flags + (K, population) defaults.
@@ -450,6 +474,7 @@ SimEngine make_cli_engine(const RunOptions& opt, const SyntheticSpec& spec,
   run.topology.num_edges = opt.num_edges;
   run.wire.mode =
       opt.wire == "analytic" ? WireMode::kAnalytic : WireMode::kEncoded;
+  run.scenario = opt.scenario_spec;
   return SimEngine(make_synthetic_dataset(spec),
                    make_proxy(opt.model, spec.feature_dim, spec.num_classes),
                    make_env(opt.env), train, run);
@@ -522,6 +547,10 @@ std::map<std::string, std::string> ckpt_meta(const RunOptions& opt,
   m["agg_shards"] = std::to_string(opt.agg_shards);
   m["topology"] = opt.topology;
   m["wire"] = opt.wire;
+  // The canonical spec, not the --scenario flag value: the file it named
+  // may be gone or edited by resume time, and the run's exact fleet shape
+  // must ride the snapshot. Empty = no scenario.
+  m["scenario"] = opt.scenario.empty() ? "" : scenario::to_json(opt.scenario_spec);
   if (aopt != nullptr) {
     m["async_buffer"] = std::to_string(aopt->engine.buffer_size);
     m["async_conc"] = std::to_string(aopt->engine.concurrency);
@@ -771,6 +800,7 @@ std::string run_json(const RunOptions& opt, const std::string& strategy,
      << ", \"agg_shards\": " << opt.agg_shards
      << ", \"topology\": " << jstr(opt.topology)
      << ", \"wire\": " << jstr(opt.wire)
+     << ", \"scenario\": " << scenario_json(opt)
      << ", \"population\": " << population
      << ", \"population_mode\": " << jstr(opt.population_mode)
      << ", \"peak_rss_est_mb\": " << jnum(peak_rss_est_mb)
@@ -939,10 +969,12 @@ ParsedArgs parse_args(const std::vector<std::string>& args) {
       value = key.substr(eq + 1);
       key = key.substr(0, eq);
     } else if (key == "dry-run" ||
-               (key == "metrics" && p.command == "list")) {
+               ((key == "metrics" || key == "scenarios") &&
+                p.command == "list")) {
       // Boolean flags never consume the next token. `--metrics` is a
       // value flag everywhere (the JSONL sink path) EXCEPT under `list`,
-      // where the bare form selects the metric-registry listing.
+      // where the bare form selects the metric-registry listing;
+      // `--scenarios` likewise selects the bundled-scenario listing.
       value = "1";
     } else {
       if (i + 1 >= args.size()) {
@@ -987,7 +1019,20 @@ int cmd_list(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   reject_positionals(args);
   Flags flags(args.flags);
   const bool metrics = flags.flag("metrics");
+  const bool scenarios = flags.flag("scenarios");
   flags.reject_unknown();
+  if (metrics && scenarios) {
+    throw UsageError("--metrics and --scenarios are mutually exclusive");
+  }
+
+  if (scenarios) {
+    out << "bundled scenarios (pass `--scenario NAME`, or `--scenario FILE` "
+           "with a JSON spec of the same shape):\n";
+    for (const auto& [name, spec_json] : scenario::builtin_scenarios()) {
+      out << "\n" << name << ":\n  " << spec_json << "\n";
+    }
+    return 0;
+  }
 
   if (metrics) {
     out << "telemetry metrics (sim metrics appear in JSON summaries; "
@@ -1112,6 +1157,13 @@ int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     }
     out << " topology=" << opt.topology << "\n";
   }
+  if (!opt.scenario.empty()) {
+    const scenario::ScenarioSpec& s = opt.scenario_spec;
+    out << "scenario: " << s.name << " (classes=" << s.device_classes.size()
+        << " deadline=" << fmt_double(s.deadline_s, 1)
+        << "s dropout=" << fmt_percent(s.dropout_rate)
+        << " byzantine=" << fmt_percent(s.byzantine_rate) << ")\n";
+  }
   out << "\n";
 
   RunResult res;
@@ -1213,6 +1265,19 @@ int cmd_resume(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   }
   opt.wire = meta_get(snap, "wire");
   require_meta_name(snap, "wire", {"encoded", "analytic"});
+  // The scenario rides the checkpoint as its canonical JSON (never a file
+  // path): re-parsing it through the same validator rejects a tampered
+  // spec and reproduces the exact fleet shape mid-scenario.
+  const std::string& scen_meta = meta_get(snap, "scenario");
+  if (!scen_meta.empty()) {
+    try {
+      opt.scenario_spec = scenario::parse_scenario_json(scen_meta);
+    } catch (const scenario::ScenarioError& e) {
+      throw ckpt::CkptError("checkpoint meta key 'scenario' is invalid: " +
+                            std::string(e.what()));
+    }
+    opt.scenario = opt.scenario_spec.name;
+  }
   opt.json_path = json_path;
   opt.trace_path = trace_path;
   opt.metrics_path = metrics_path;
@@ -1405,6 +1470,7 @@ int cmd_sweep_async(Flags& flags, const RunOptions& opt, bool dry_run,
        << ", \"agg_shards\": " << opt.agg_shards
        << ", \"topology\": " << jstr(opt.topology)
        << ", \"wire\": " << jstr(opt.wire)
+       << ", \"scenario\": " << scenario_json(opt)
        << ", \"population\": " << pop
        << ", \"population_mode\": " << jstr(opt.population_mode)
        << ", \"peak_rss_est_mb\": " << jnum(rss_mb)
@@ -1532,6 +1598,7 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
        << ", \"agg_shards\": " << opt.agg_shards
        << ", \"topology\": " << jstr(opt.topology)
        << ", \"wire\": " << jstr(opt.wire)
+       << ", \"scenario\": " << scenario_json(opt)
        << ", \"population\": " << pop
        << ", \"population_mode\": " << jstr(opt.population_mode)
        << ", \"peak_rss_est_mb\": " << jnum(rss_mb)
@@ -1617,6 +1684,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   } catch (const ckpt::CkptError& e) {
     // Bad checkpoints (missing, truncated, corrupt, wrong version, wrong
     // binary shape) fail as ONE clean line — never UB, never a stack dump.
+    err << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const scenario::ScenarioError& e) {
+    // Bad scenario specs (unknown keys, NaN/out-of-range multipliers,
+    // unsorted traces, unreadable files): one clean line, exit code 1.
     err << "error: " << e.what() << "\n";
     return 1;
   } catch (const CheckError& e) {

@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "scenario/scenario.h"
+
 namespace gluefl::cli {
 
 /// Parsed command line: a subcommand plus `--key value` flags.
@@ -70,6 +72,11 @@ struct RunOptions {
   std::string topology = "flat";  // "flat" or "hier:<E>"
   int num_edges = 0;              // parsed from topology; 0 = flat
   std::string wire = "encoded";   // byte accounting: encoded | analytic
+  // Fleet-shaping scenario (src/scenario/, DESIGN.md §11): "" = off;
+  // otherwise a bundled scenario name or a JSON spec file path, loaded and
+  // validated eagerly (also under --dry-run) into `scenario_spec`.
+  std::string scenario;
+  scenario::ScenarioSpec scenario_spec;
   std::string json_path;   // empty = stdout only
   // Telemetry sinks (src/telemetry/, DESIGN.md §10); both empty = counters
   // only (no trace buffer, no JSONL stream).

@@ -10,6 +10,7 @@
 #include "compress/encoding.h"
 #include "net/bandwidth.h"
 #include "sampling/sampler.h"
+#include "scenario/scenario.h"
 #include "telemetry/telemetry.h"
 #include "wire/codec.h"
 
@@ -277,6 +278,27 @@ RunResult AsyncSimEngine::run_loop(AsyncStrategy& strategy, AsyncRunState st,
       } else {
         f.up_b = up_payload;
       }
+      // Scenario faults (DESIGN.md §11), pure functions of the dispatch
+      // seq so a resumed run recomputes identical fates. A dropout crashes
+      // between download and upload: the payload never exists, the upload
+      // leg costs nothing, and the slot frees at the end of compute. A
+      // Byzantine client ships a corrupted frame — under analytic
+      // accounting a 1-byte invalid sentinel — that the server-side decode
+      // rejects at fold time; its upload is priced like any other.
+      const bool crashed = eng.scenario_dropout_seq(f.seq);
+      if (crashed) {
+        telemetry::count(telemetry::kScenarioDropouts);
+        f.local = LocalResult{};
+        f.wire.clear();
+        f.up_b = 0;
+      } else if (eng.scenario_byzantine_seq(f.seq)) {
+        if (enc) {
+          scenario::corrupt_frame(f.wire);
+        } else {
+          f.local = LocalResult{};
+          f.wire.assign(1, 0xFF);
+        }
+      }
       f.dt = transfer_seconds(static_cast<double>(down_b) * eng.wire_scale(),
                               p.down_mbps);
       f.ct = flops / (p.gflops * 1e9);
@@ -285,8 +307,10 @@ RunResult AsyncSimEngine::run_loop(AsyncStrategy& strategy, AsyncRunState st,
       if (topo != nullptr) {
         f.dt += topo->fetch_seconds(static_cast<double>(down_b) *
                                     eng.wire_scale());
-        f.ut += topo->uplink_seconds(static_cast<double>(f.up_b) *
-                                     eng.wire_scale());
+        if (!crashed) {
+          f.ut += topo->uplink_seconds(static_cast<double>(f.up_b) *
+                                       eng.wire_scale());
+        }
       }
       f.finish = st.now + f.dt + f.ct + f.ut;
       st.rec.down_bytes += static_cast<double>(down_b) * eng.wire_scale();
@@ -340,16 +364,36 @@ RunResult AsyncSimEngine::run_loop(AsyncStrategy& strategy, AsyncRunState st,
     st.in_flight.erase(f.client);
     ++st.free_slots;
 
-    AsyncUpdate u;
-    u.client = f.client;
-    u.version = f.version;
-    u.result = std::move(f.local);
-    u.wire = std::move(f.wire);
-    st.buffer.push_back(std::move(u));
-    st.rec.up_bytes += static_cast<double>(f.up_b) * eng.wire_scale();
+    // Scenario fates, recomputed from the seq (pure function — identical
+    // before and after a resume). A crashed client contributes nothing
+    // beyond the download already charged at dispatch; a deadline miss
+    // pays its (completed) upload but the server discards the update.
+    const scenario::ScenarioSpec& scen = eng.scenario();
+    const bool crashed =
+        scen.dropout_rate > 0.0 && eng.scenario_dropout_seq(f.seq);
+    const double elapsed = f.dt + f.ct + f.ut;
+    const bool late =
+        !crashed && scen.deadline_s > 0.0 && elapsed > scen.deadline_s;
     st.rec.down_time_s = std::max(st.rec.down_time_s, f.dt);
-    st.rec.up_time_s = std::max(st.rec.up_time_s, f.ut);
     st.rec.compute_time_s = std::max(st.rec.compute_time_s, f.ct);
+    if (!crashed) {
+      st.rec.up_bytes += static_cast<double>(f.up_b) * eng.wire_scale();
+      st.rec.up_time_s = std::max(st.rec.up_time_s, f.ut);
+    }
+    if (late) {
+      telemetry::count(telemetry::kScenarioDeadlineDrops);
+      telemetry::count(
+          telemetry::kScenarioStragglerMs,
+          static_cast<uint64_t>((elapsed - scen.deadline_s) * 1e3));
+    }
+    if (!crashed && !late) {
+      AsyncUpdate u;
+      u.client = f.client;
+      u.version = f.version;
+      u.result = std::move(f.local);
+      u.wire = std::move(f.wire);
+      st.buffer.push_back(std::move(u));
+    }
 
     if (static_cast<int>(st.buffer.size()) >= cfg_.buffer_size) {
       aggregate();

@@ -28,11 +28,20 @@ constexpr int64_t kMaxPopulation = 100000000;
 constexpr uint64_t kStreamProfiles = 0x01;
 constexpr uint64_t kStreamAvailability = 0x02;
 constexpr uint64_t kStreamInit = 0x03;
+constexpr uint64_t kStreamScenario = 0x04;  // device-class membership
 constexpr uint64_t kStreamRoundBase = 0x1000;
 // Async-mode streams live far above every possible round stream
 // (kStreamRoundBase + rounds * 64 stays < 2^32 for rounds <= 1e6).
 constexpr uint64_t kStreamAsyncBase = uint64_t{1} << 32;
 constexpr uint64_t kStreamAsyncTrainBase = uint64_t{1} << 33;
+// Per-dispatch scenario fate streams for the async engine (seq-keyed, so
+// resume can recompute an in-flight update's fate from serialized state).
+constexpr uint64_t kStreamAsyncDropoutBase = uint64_t{1} << 34;
+constexpr uint64_t kStreamAsyncByzantineBase = uint64_t{1} << 35;
+// Per-round scenario purposes (round_rng purpose slots 0..63; 63 is
+// local_train, 0/1/50 belong to the samplers and gluefl init).
+constexpr uint64_t kPurposeScenarioByzantine = 61;
+constexpr uint64_t kPurposeScenarioDropout = 62;
 }  // namespace
 
 struct SimEngine::Worker {
@@ -85,6 +94,11 @@ SimEngine::SimEngine(FederatedDataset dataset, ModelProxy proxy,
       population_, run_cfg_.rounds, env_, master_rng_.fork(kStreamProfiles),
       master_rng_.fork(kStreamAvailability), run_cfg_.use_availability,
       /*materialize=*/run_cfg_.population_mode == PopulationMode::kDense);
+  // Scenario overlay before any profile/availability query: device-class
+  // multipliers and non-stationary availability are derived per entity
+  // from a dedicated stream, keeping dense/virtual mode bit-identical.
+  directory_->set_scenario(run_cfg_.scenario,
+                           master_rng_.fork(kStreamScenario));
 
   num_threads_ = run_cfg_.num_threads > 0
                      ? run_cfg_.num_threads
@@ -169,6 +183,36 @@ Rng SimEngine::async_rng(uint64_t purpose) const {
 
 bool SimEngine::client_available(int client, int round) const {
   return directory_->available(client, round);
+}
+
+bool SimEngine::scenario_dropout(int round, int client) const {
+  const double rate = run_cfg_.scenario.dropout_rate;
+  if (rate <= 0.0) return false;
+  Rng r = round_rng(round, kPurposeScenarioDropout)
+              .fork(static_cast<uint64_t>(client));
+  return r.bernoulli(rate);
+}
+
+bool SimEngine::scenario_byzantine(int round, int client) const {
+  const double rate = run_cfg_.scenario.byzantine_rate;
+  if (rate <= 0.0) return false;
+  Rng r = round_rng(round, kPurposeScenarioByzantine)
+              .fork(static_cast<uint64_t>(client));
+  return r.bernoulli(rate);
+}
+
+bool SimEngine::scenario_dropout_seq(uint64_t seq) const {
+  const double rate = run_cfg_.scenario.dropout_rate;
+  if (rate <= 0.0) return false;
+  Rng r = master_rng_.fork(kStreamAsyncDropoutBase + seq);
+  return r.bernoulli(rate);
+}
+
+bool SimEngine::scenario_byzantine_seq(uint64_t seq) const {
+  const double rate = run_cfg_.scenario.byzantine_rate;
+  if (rate <= 0.0) return false;
+  Rng r = master_rng_.fork(kStreamAsyncByzantineBase + seq);
+  return r.bernoulli(rate);
 }
 
 AvailabilityFn SimEngine::availability_fn(int round) {
@@ -269,6 +313,41 @@ Participation SimEngine::simulate_participation(
   std::sort(sticky_t.begin(), sticky_t.end(), by_finish);
   std::sort(other_t.begin(), other_t.end(), by_finish);
 
+  // Scenario faults (DESIGN.md §11) shrink the eligible pool BEFORE the
+  // over-commit cutoff picks the fastest finishers: a crashed client never
+  // reports, and one past the reporting deadline is discarded by the
+  // server. Both still pay (and are charged) their download below — the
+  // "dropped work priced for the bytes actually spent" contract the
+  // baseline straggler model already follows. Runs on the coordinator
+  // thread, so the telemetry counts stay thread-invariant.
+  const scenario::ScenarioSpec& scen = run_cfg_.scenario;
+  const bool scen_faults = scen.dropout_rate > 0.0 || scen.deadline_s > 0.0;
+  std::vector<Timed> sticky_ok, other_ok;
+  if (scen_faults) {
+    auto survives = [&](const Timed& t) {
+      if (scenario_dropout(round, t.id)) {
+        telemetry::count(telemetry::kScenarioDropouts);
+        return false;
+      }
+      if (scen.deadline_s > 0.0 && t.finish > scen.deadline_s) {
+        telemetry::count(telemetry::kScenarioDeadlineDrops);
+        telemetry::count(
+            telemetry::kScenarioStragglerMs,
+            static_cast<uint64_t>((t.finish - scen.deadline_s) * 1e3));
+        return false;
+      }
+      return true;
+    };
+    for (const auto& t : sticky_t) {
+      if (survives(t)) sticky_ok.push_back(t);
+    }
+    for (const auto& t : other_t) {
+      if (survives(t)) other_ok.push_back(t);
+    }
+  }
+  const std::vector<Timed>& sticky_sel = scen_faults ? sticky_ok : sticky_t;
+  const std::vector<Timed>& other_sel = scen_faults ? other_ok : other_t;
+
   rec.num_invited += cand.total_invited();
   double stale_sum = 0.0;
   int stale_n = 0;
@@ -303,14 +382,14 @@ Participation SimEngine::simulate_participation(
     }
   };
   const int take_sticky =
-      std::min<int>(cand.need_sticky, static_cast<int>(sticky_t.size()));
+      std::min<int>(cand.need_sticky, static_cast<int>(sticky_sel.size()));
   for (int i = 0; i < take_sticky; ++i) {
-    include(sticky_t[static_cast<size_t>(i)], part.sticky);
+    include(sticky_sel[static_cast<size_t>(i)], part.sticky);
   }
   const int take_other = std::min<int>(cand.need_nonsticky,
-                                       static_cast<int>(other_t.size()));
+                                       static_cast<int>(other_sel.size()));
   for (int i = 0; i < take_other; ++i) {
-    include(other_t[static_cast<size_t>(i)], part.nonsticky);
+    include(other_sel[static_cast<size_t>(i)], part.nonsticky);
   }
 
   rec.num_included += static_cast<int>(part.sticky.size() +

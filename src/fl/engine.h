@@ -143,6 +143,22 @@ class SimEngine {
   bool client_available(int client, int round) const;
   AvailabilityFn availability_fn(int round);
 
+  // ---- scenario fault injection (DESIGN.md §11) ----
+  const scenario::ScenarioSpec& scenario() const { return run_cfg_.scenario; }
+  /// True when client `client` crashes between download and upload in
+  /// `round` (sync engine). Pure function of (seed, round, client).
+  bool scenario_dropout(int round, int client) const;
+  /// True when client `client` sends a Byzantine/corrupted update in
+  /// `round` (sync engine). The strategies corrupt the encoded frame (or
+  /// model the rejection under --wire=analytic) and the server-side decode
+  /// rejects it, counting telemetry::kScenarioFramesRejected.
+  bool scenario_byzantine(int round, int client) const;
+  /// Async variants keyed by the dispatch sequence number, so the fate of
+  /// an in-flight update can be recomputed after resume without widening
+  /// the serialized event format.
+  bool scenario_dropout_seq(uint64_t seq) const;
+  bool scenario_byzantine_seq(uint64_t seq) const;
+
   /// Learning rate schedule (paper: decay 0.98 every 10 rounds).
   double lr_at(int round) const;
 

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "scenario/scenario.h"
+
 namespace gluefl {
 
 /// Client-side optimization hyper-parameters.
@@ -98,6 +100,11 @@ struct RunConfig {
   TopologyConfig topology;
   /// Analytic (modelled) versus encoded (measured) byte accounting.
   WireConfig wire;
+  /// Fleet-shaping scenario (DESIGN.md §11): device-class mixes, diurnal/
+  /// trace availability, deadlines, dropouts and Byzantine clients. The
+  /// default spec is inert (scenario.enabled() == false) and reproduces
+  /// the paper's baseline behaviour exactly.
+  scenario::ScenarioSpec scenario;
 };
 
 }  // namespace gluefl

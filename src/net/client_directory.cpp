@@ -39,6 +39,57 @@ ClientDirectory::ClientDirectory(int64_t population, int horizon,
   }
 }
 
+void ClientDirectory::set_scenario(const scenario::ScenarioSpec& spec,
+                                   const Rng& scenario_rng) {
+  scenario_ = spec;
+  scenario_rng_ = scenario_rng;
+  class_cum_.clear();
+  if (!spec.device_classes.empty()) {
+    double total = 0.0;
+    for (const auto& dc : spec.device_classes) total += dc.weight;
+    double acc = 0.0;
+    for (const auto& dc : spec.device_classes) {
+      acc += dc.weight / total;
+      class_cum_.push_back(acc);
+    }
+    class_cum_.back() = 1.0;  // guard against rounding in the last bin
+  }
+  // Diurnal/trace availability replaces the Markov chains with a pure
+  // per-(client, round) draw; the engine must see always_on() == false so
+  // its availability_fn stays wired in even when env.availability is 1.0.
+  if (spec.availability != scenario::AvailabilityMode::kStationary) {
+    always_on_ = false;
+  }
+  if (materialize_ && !class_cum_.empty()) {
+    for (int64_t c = 0; c < population_; ++c) {
+      profiles_[static_cast<size_t>(c)] =
+          apply_device_class(c, profiles_[static_cast<size_t>(c)]);
+    }
+  }
+}
+
+int ClientDirectory::device_class(int64_t client) const {
+  if (class_cum_.empty()) return -1;
+  Rng cr = scenario_rng_.fork(static_cast<uint64_t>(client));
+  const double u = cr.uniform();
+  for (size_t i = 0; i < class_cum_.size(); ++i) {
+    if (u < class_cum_[i]) return static_cast<int>(i);
+  }
+  return static_cast<int>(class_cum_.size()) - 1;
+}
+
+ClientProfile ClientDirectory::apply_device_class(int64_t client,
+                                                  ClientProfile p) const {
+  const int cls = device_class(client);
+  if (cls < 0) return p;
+  const scenario::DeviceClass& dc =
+      scenario_.device_classes[static_cast<size_t>(cls)];
+  p.gflops *= dc.compute_mult;
+  p.down_mbps *= dc.down_mult;
+  p.up_mbps *= dc.up_mult;
+  return p;
+}
+
 ClientProfile ClientDirectory::profile(int64_t client) const {
   GLUEFL_CHECK(client >= 0 && client < population_);
   if (materialize_) return profiles_[static_cast<size_t>(client)];
@@ -53,8 +104,9 @@ ClientProfile ClientDirectory::profile(int64_t client) const {
   if (profile_cache_.at_capacity()) {
     telemetry::count(telemetry::kDirProfileEvictions);
   }
-  return profile_cache_.insert(client,
-                               derive_profile(client, env_, profile_rng_));
+  return profile_cache_.insert(
+      client, apply_device_class(
+                  client, derive_profile(client, env_, profile_rng_)));
 }
 
 ClientDirectory::Chain ClientDirectory::start_chain(int64_t client) const {
@@ -73,6 +125,19 @@ void ClientDirectory::advance(Chain& chain) const {
 
 bool ClientDirectory::available(int64_t client, int round) const {
   GLUEFL_CHECK(client >= 0 && client < population_);
+  if (scenario_.availability != scenario::AvailabilityMode::kStationary) {
+    // Diurnal/trace mode: a pure per-(client, round) draw against the
+    // scenario's online probability. No sojourn correlation across rounds
+    // — the population-level online fraction is what these modes model.
+    // Identical in dense and virtual mode by construction, and valid for
+    // any round >= 0 (the async engine queries by aggregation version).
+    GLUEFL_CHECK(round >= 0);
+    const double p = scenario_.online_probability(round, env_.availability);
+    Rng r = avail_rng_.fork(0xD1A3)
+                .fork(static_cast<uint64_t>(client))
+                .fork(static_cast<uint64_t>(round));
+    return r.bernoulli(p);
+  }
   if (always_on_) return true;
   GLUEFL_CHECK(round >= 0 && round < horizon_);
   if (materialize_) {

@@ -30,6 +30,7 @@
 #include "net/availability.h"
 #include "net/client_profile.h"
 #include "net/environment.h"
+#include "scenario/scenario.h"
 
 namespace gluefl {
 namespace detail {
@@ -99,6 +100,21 @@ class ClientDirectory {
                   bool use_availability, bool materialize,
                   size_t cache_capacity = kDefaultCacheCapacity);
 
+  /// Applies a scenario (DESIGN.md §11) on top of the environment. Must be
+  /// called before any profile/availability query (the engine does so right
+  /// after construction). Device-class membership is a pure function of
+  /// (scenario stream, client id) and the class multipliers are applied on
+  /// top of derive_profile's output identically in both modes, so dense and
+  /// virtual populations stay bit-identical. Non-stationary availability
+  /// modes (diurnal/trace) replace the Markov chains with a pure
+  /// per-(client, round) draw and force always_on() to false.
+  void set_scenario(const scenario::ScenarioSpec& spec,
+                    const Rng& scenario_rng);
+
+  /// Device class index of `client` into the scenario's device_classes,
+  /// or -1 when the scenario defines no classes.
+  int device_class(int64_t client) const;
+
   int64_t population() const { return population_; }
   bool always_on() const { return always_on_; }
   bool materialized() const { return materialize_; }
@@ -125,6 +141,7 @@ class ClientDirectory {
 
   Chain start_chain(int64_t client) const;
   void advance(Chain& chain) const;
+  ClientProfile apply_device_class(int64_t client, ClientProfile p) const;
 
   int64_t population_;
   int horizon_;
@@ -135,6 +152,12 @@ class ClientDirectory {
   bool materialize_;
   double p_off_ = 0.0;  // on -> off per-round flip probability
   double p_on_ = 0.0;   // off -> on
+
+  // Scenario overlay (set_scenario). `class_cum_` holds the cumulative
+  // normalized device-class weights for the membership draw.
+  scenario::ScenarioSpec scenario_;
+  Rng scenario_rng_{0};
+  std::vector<double> class_cum_;
 
   // Materialized mode.
   std::vector<ClientProfile> profiles_;

@@ -1,0 +1,342 @@
+#include "scenario/scenario.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace gluefl::scenario {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr size_t kMaxDeviceClasses = 64;
+constexpr size_t kMaxTracePoints = 100000;
+constexpr double kMaxMultiplier = 1000.0;
+constexpr double kMaxDeadlineS = 1e9;
+constexpr int kMaxPeriodRounds = 1000000;
+
+[[noreturn]] void fail(const std::string& msg) { throw ScenarioError(msg); }
+
+// Shortest decimal that strtod's back to the exact double, so the
+// canonical JSON is both stable and readable (0.1 stays "0.1", not a
+// 17-digit expansion).
+std::string fmt_double(double v) {
+  char buf[64];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+double require_number(const json::Value& v, const std::string& what) {
+  if (!v.is_number()) fail(what + " must be a number");
+  if (!std::isfinite(v.number)) fail(what + " must be finite");
+  return v.number;
+}
+
+double require_range(const json::Value& v, const std::string& what, double lo,
+                     double hi, bool lo_open) {
+  const double x = require_number(v, what);
+  const bool below = lo_open ? x <= lo : x < lo;
+  if (below || x > hi) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s must be in %c%g, %g], got %s",
+                  what.c_str(), lo_open ? '(' : '[', lo, hi,
+                  fmt_double(x).c_str());
+    fail(buf);
+  }
+  return x;
+}
+
+int require_int(const json::Value& v, const std::string& what, int lo,
+                int hi) {
+  const double x = require_number(v, what);
+  if (x != std::floor(x) || x < lo || x > hi) {
+    fail(what + " must be an integer in [" + std::to_string(lo) + ", " +
+         std::to_string(hi) + "]");
+  }
+  return static_cast<int>(x);
+}
+
+std::string require_string(const json::Value& v, const std::string& what) {
+  if (!v.is_string() || v.str.empty()) {
+    fail(what + " must be a non-empty string");
+  }
+  return v.str;
+}
+
+void reject_unknown_keys(const json::Value& obj, const std::string& where,
+                         const std::vector<std::string>& known) {
+  for (const auto& [key, val] : obj.obj) {
+    (void)val;
+    bool ok = false;
+    for (const auto& k : known) ok = ok || k == key;
+    if (!ok) fail("unknown key \"" + key + "\" in " + where);
+  }
+}
+
+DeviceClass parse_device_class(const json::Value& v, size_t index) {
+  const std::string where = "device_classes[" + std::to_string(index) + "]";
+  if (!v.is_object()) fail(where + " must be an object");
+  reject_unknown_keys(v, where,
+                      {"name", "weight", "compute_mult", "down_mult",
+                       "up_mult"});
+  DeviceClass dc;
+  const json::Value* f = v.find("name");
+  if (f == nullptr) fail(where + " is missing \"name\"");
+  dc.name = require_string(*f, where + ".name");
+  if ((f = v.find("weight")) != nullptr) {
+    dc.weight = require_range(*f, where + ".weight", 0.0, 1e6, true);
+  }
+  if ((f = v.find("compute_mult")) != nullptr) {
+    dc.compute_mult =
+        require_range(*f, where + ".compute_mult", 0.0, kMaxMultiplier, true);
+  }
+  if ((f = v.find("down_mult")) != nullptr) {
+    dc.down_mult =
+        require_range(*f, where + ".down_mult", 0.0, kMaxMultiplier, true);
+  }
+  if ((f = v.find("up_mult")) != nullptr) {
+    dc.up_mult =
+        require_range(*f, where + ".up_mult", 0.0, kMaxMultiplier, true);
+  }
+  return dc;
+}
+
+void parse_availability(const json::Value& v, ScenarioSpec& spec) {
+  if (!v.is_object()) fail("availability must be an object");
+  const json::Value* mode = v.find("mode");
+  if (mode == nullptr) fail("availability is missing \"mode\"");
+  const std::string m = require_string(*mode, "availability.mode");
+  if (m == "stationary") {
+    reject_unknown_keys(v, "availability (stationary)", {"mode"});
+    spec.availability = AvailabilityMode::kStationary;
+  } else if (m == "diurnal") {
+    reject_unknown_keys(v, "availability (diurnal)",
+                        {"mode", "period_rounds", "amplitude"});
+    spec.availability = AvailabilityMode::kDiurnal;
+    const json::Value* f = v.find("period_rounds");
+    if (f != nullptr) {
+      spec.diurnal_period_rounds =
+          require_int(*f, "availability.period_rounds", 1, kMaxPeriodRounds);
+    }
+    if ((f = v.find("amplitude")) != nullptr) {
+      spec.diurnal_amplitude =
+          require_range(*f, "availability.amplitude", 0.0, 1.0, false);
+    }
+  } else if (m == "trace") {
+    reject_unknown_keys(v, "availability (trace)", {"mode", "points"});
+    spec.availability = AvailabilityMode::kTrace;
+    const json::Value* pts = v.find("points");
+    if (pts == nullptr || !pts->is_array() || pts->arr.empty()) {
+      fail("availability.points must be a non-empty array");
+    }
+    if (pts->arr.size() > kMaxTracePoints) {
+      fail("availability.points has too many entries (max " +
+           std::to_string(kMaxTracePoints) + ")");
+    }
+    int prev = -1;
+    for (size_t i = 0; i < pts->arr.size(); ++i) {
+      const json::Value& p = pts->arr[i];
+      const std::string where =
+          "availability.points[" + std::to_string(i) + "]";
+      if (!p.is_array() || p.arr.size() != 2) {
+        fail(where + " must be a [round, online_frac] pair");
+      }
+      TracePoint tp;
+      tp.round = require_int(p.arr[0], where + ".round", 0, kMaxPeriodRounds);
+      tp.online_frac =
+          require_range(p.arr[1], where + ".online_frac", 0.0, 1.0, false);
+      if (tp.round <= prev) {
+        fail("availability.points rounds must be strictly increasing (" +
+             where + " has round " + std::to_string(tp.round) + ")");
+      }
+      prev = tp.round;
+      spec.trace.push_back(tp);
+    }
+  } else {
+    fail("availability.mode must be \"stationary\", \"diurnal\" or "
+         "\"trace\", got \"" +
+         m + "\"");
+  }
+}
+
+ScenarioSpec make_hostile() {
+  ScenarioSpec s;
+  s.name = "hostile";
+  s.device_classes = {
+      {"phone", 0.5, 0.6, 0.5, 0.4},
+      {"iot", 0.3, 0.15, 0.15, 0.1},
+      {"edge-server", 0.2, 4.0, 8.0, 8.0},
+  };
+  s.deadline_s = 60.0;
+  s.dropout_rate = 0.08;
+  s.byzantine_rate = 0.1;
+  return s;
+}
+
+ScenarioSpec make_diurnal() {
+  ScenarioSpec s;
+  s.name = "diurnal";
+  s.device_classes = {
+      {"phone", 0.7, 0.8, 0.7, 0.6},
+      {"edge-server", 0.3, 2.0, 4.0, 4.0},
+  };
+  s.availability = AvailabilityMode::kDiurnal;
+  s.diurnal_period_rounds = 24;
+  s.diurnal_amplitude = 0.6;
+  return s;
+}
+
+}  // namespace
+
+double ScenarioSpec::online_probability(int round,
+                                        double base_availability) const {
+  double p = base_availability;
+  if (availability == AvailabilityMode::kDiurnal) {
+    const double phase =
+        2.0 * kPi * static_cast<double>(round % diurnal_period_rounds) /
+        static_cast<double>(diurnal_period_rounds);
+    const double trough_depth = 0.5 * (1.0 + std::sin(phase));  // [0, 1]
+    p = base_availability * (1.0 - diurnal_amplitude * trough_depth);
+  } else if (availability == AvailabilityMode::kTrace) {
+    p = trace.front().online_frac;
+    for (const TracePoint& tp : trace) {
+      if (tp.round > round) break;
+      p = tp.online_frac;
+    }
+  }
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  return p;
+}
+
+ScenarioSpec parse_scenario_json(const std::string& text) {
+  json::Value root;
+  try {
+    root = json::parse(text);
+  } catch (const json::JsonError& e) {
+    fail(std::string("invalid JSON: ") + e.what());
+  }
+  if (!root.is_object()) fail("top-level value must be an object");
+  reject_unknown_keys(root, "scenario",
+                      {"name", "device_classes", "availability", "deadline_s",
+                       "dropout_rate", "byzantine_rate"});
+  ScenarioSpec spec;
+  const json::Value* f = root.find("name");
+  if (f == nullptr) fail("missing required key \"name\"");
+  spec.name = require_string(*f, "name");
+  if ((f = root.find("device_classes")) != nullptr) {
+    if (!f->is_array()) fail("device_classes must be an array");
+    if (f->arr.size() > kMaxDeviceClasses) {
+      fail("device_classes has too many entries (max " +
+           std::to_string(kMaxDeviceClasses) + ")");
+    }
+    for (size_t i = 0; i < f->arr.size(); ++i) {
+      spec.device_classes.push_back(parse_device_class(f->arr[i], i));
+    }
+  }
+  if ((f = root.find("availability")) != nullptr) {
+    parse_availability(*f, spec);
+  }
+  if ((f = root.find("deadline_s")) != nullptr) {
+    spec.deadline_s =
+        require_range(*f, "deadline_s", 0.0, kMaxDeadlineS, false);
+  }
+  if ((f = root.find("dropout_rate")) != nullptr) {
+    spec.dropout_rate = require_range(*f, "dropout_rate", 0.0, 1.0, false);
+    if (spec.dropout_rate >= 1.0) fail("dropout_rate must be < 1");
+  }
+  if ((f = root.find("byzantine_rate")) != nullptr) {
+    spec.byzantine_rate = require_range(*f, "byzantine_rate", 0.0, 1.0, false);
+    if (spec.byzantine_rate >= 1.0) fail("byzantine_rate must be < 1");
+  }
+  return spec;
+}
+
+ScenarioSpec load_scenario(const std::string& name_or_path) {
+  for (const auto& [name, text] : builtin_scenarios()) {
+    if (name == name_or_path) return parse_scenario_json(text);
+  }
+  std::ifstream in(name_or_path, std::ios::binary);
+  if (!in) {
+    fail("\"" + name_or_path +
+         "\" is neither a builtin scenario nor a readable file (builtins: "
+         "see `gluefl list --scenarios`)");
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_scenario_json(ss.str());
+}
+
+std::string to_json(const ScenarioSpec& spec) {
+  std::string out = "{\"name\": " + quoted(spec.name);
+  out += ", \"device_classes\": [";
+  for (size_t i = 0; i < spec.device_classes.size(); ++i) {
+    const DeviceClass& dc = spec.device_classes[i];
+    if (i > 0) out += ", ";
+    out += "{\"name\": " + quoted(dc.name) +
+           ", \"weight\": " + fmt_double(dc.weight) +
+           ", \"compute_mult\": " + fmt_double(dc.compute_mult) +
+           ", \"down_mult\": " + fmt_double(dc.down_mult) +
+           ", \"up_mult\": " + fmt_double(dc.up_mult) + "}";
+  }
+  out += "], \"availability\": ";
+  switch (spec.availability) {
+    case AvailabilityMode::kStationary:
+      out += "{\"mode\": \"stationary\"}";
+      break;
+    case AvailabilityMode::kDiurnal:
+      out += "{\"mode\": \"diurnal\", \"period_rounds\": " +
+             std::to_string(spec.diurnal_period_rounds) +
+             ", \"amplitude\": " + fmt_double(spec.diurnal_amplitude) + "}";
+      break;
+    case AvailabilityMode::kTrace: {
+      out += "{\"mode\": \"trace\", \"points\": [";
+      for (size_t i = 0; i < spec.trace.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "[" + std::to_string(spec.trace[i].round) + ", " +
+               fmt_double(spec.trace[i].online_frac) + "]";
+      }
+      out += "]}";
+      break;
+    }
+  }
+  out += ", \"deadline_s\": " + fmt_double(spec.deadline_s);
+  out += ", \"dropout_rate\": " + fmt_double(spec.dropout_rate);
+  out += ", \"byzantine_rate\": " + fmt_double(spec.byzantine_rate);
+  out += "}";
+  return out;
+}
+
+const std::vector<std::pair<std::string, std::string>>& builtin_scenarios() {
+  static const std::vector<std::pair<std::string, std::string>> kBuiltins = {
+      {"hostile", to_json(make_hostile())},
+      {"diurnal", to_json(make_diurnal())},
+  };
+  return kBuiltins;
+}
+
+void corrupt_frame(std::vector<uint8_t>& frame) {
+  if (frame.size() > 2) {
+    frame[2] ^= 0xFF;  // version byte: WireDecoder rejects unknown versions
+  } else {
+    frame.assign(1, 0xFF);
+  }
+}
+
+}  // namespace gluefl::scenario

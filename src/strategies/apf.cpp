@@ -10,6 +10,8 @@
 #include "common/check.h"
 #include "compress/bitmask.h"
 #include "compress/encoding.h"
+#include "scenario/scenario.h"
+#include "telemetry/telemetry.h"
 #include "tensor/ops.h"
 #include "wire/codec.h"
 
@@ -118,6 +120,7 @@ void ApfStrategy::run_round(SimEngine& engine, int round, RoundRecord& rec) {
     batch.reserve(included.size());
     for (size_t i = 0; i < included.size(); ++i) {
       const double nu = n / khat * engine.client_weight(included[i]);
+      const bool bad = engine.scenario_byzantine(round, included[i]);
       if (enc) {
         // Values-only frame against the active mask both sides hold;
         // aggregation consumes the decoded payload.
@@ -129,15 +132,25 @@ void ApfStrategy::run_round(SimEngine& engine, int round, RoundRecord& rec) {
         wire::WireEncoder we(dim);
         we.add_shared(vals.data(), vals.size(), active_id);
         we.add_stats(results[i].stat_delta.data(), engine.stat_dim());
-        const std::vector<uint8_t> buf = we.finish();
+        std::vector<uint8_t> buf = we.finish();
         measured[included[i]] = buf.size();
-        wire::WireDecoder wd(buf.data(), buf.size(), dim);
-        batch.push_back(
-            wd.take_shared(active_idx, static_cast<float>(nu), &active_id));
-        const std::vector<float> dec_stats = wd.take_stats();
-        axpy(static_cast<float>(1.0 / khat), dec_stats.data(),
-             stat_agg.data(), engine.stat_dim());
+        if (bad) scenario::corrupt_frame(buf);
+        try {
+          wire::WireDecoder wd(buf.data(), buf.size(), dim);
+          batch.push_back(
+              wd.take_shared(active_idx, static_cast<float>(nu), &active_id));
+          const std::vector<float> dec_stats = wd.take_stats();
+          axpy(static_cast<float>(1.0 / khat), dec_stats.data(),
+               stat_agg.data(), engine.stat_dim());
+        } catch (const CheckError&) {
+          telemetry::count(telemetry::kScenarioFramesRejected);
+          continue;  // rejected whole: upload priced, aggregate untouched
+        }
       } else {
+        if (bad) {
+          telemetry::count(telemetry::kScenarioFramesRejected);
+          continue;
+        }
         // Only active coordinates are transmitted / aggregated.
         batch.push_back(SparseDelta::gather_shared(
             active_idx, results[i].delta.data(), static_cast<float>(nu)));

@@ -7,6 +7,7 @@
 #include "agg/sparse_delta.h"
 #include "common/check.h"
 #include "compress/bitmask.h"
+#include "telemetry/telemetry.h"
 #include "tensor/ops.h"
 #include "wire/codec.h"
 
@@ -31,16 +32,40 @@ void AsyncFedBuffStrategy::aggregate(SimEngine& engine, int version,
                                      std::vector<AsyncUpdate>& buffer,
                                      RoundRecord& rec) {
   BitMask changed(engine.dim());
+  // Server-side frame validation (DESIGN.md §11): WireDecoder's constructor
+  // validates the whole frame, so a corrupted/Byzantine update is rejected
+  // BEFORE it can enter the staleness normalization or the aggregate. Under
+  // analytic accounting a Byzantine dispatch carries a 1-byte sentinel frame
+  // that fails the same validation path.
+  std::vector<char> ok(buffer.size(), 1);
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    if (buffer[i].wire.empty()) continue;
+    try {
+      wire::WireDecoder probe(buffer[i].wire.data(), buffer[i].wire.size(),
+                              engine.dim());
+    } catch (const CheckError&) {
+      ok[i] = 0;
+      telemetry::count(telemetry::kScenarioFramesRejected);
+    }
+  }
   double wsum = 0.0;
-  for (const auto& u : buffer) wsum += staleness_weight(u.staleness);
+  size_t valid = 0;
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    if (ok[i] != 0) {
+      wsum += staleness_weight(buffer[i].staleness);
+      ++valid;
+    }
+  }
 
-  if (!buffer.empty() && wsum > 0.0) {
+  if (valid > 0 && wsum > 0.0) {
     std::vector<float> agg(engine.dim(), 0.0f);
     std::vector<float> stat_agg(engine.stat_dim(), 0.0f);
     double loss_sum = 0.0;
     std::vector<SparseDelta> batch;
-    batch.reserve(buffer.size());
-    for (auto& u : buffer) {
+    batch.reserve(valid);
+    for (size_t i = 0; i < buffer.size(); ++i) {
+      if (ok[i] == 0) continue;
+      AsyncUpdate& u = buffer[i];
       const double nu =
           cfg_.server_lr * staleness_weight(u.staleness) / wsum;
       if (!u.wire.empty()) {
@@ -62,7 +87,7 @@ void AsyncFedBuffStrategy::aggregate(SimEngine& engine, int version,
     engine.aggregator().reduce(batch, agg.data(), engine.dim());
     axpy(1.0f, agg.data(), engine.params().data(), engine.dim());
     axpy(1.0f, stat_agg.data(), engine.stats().data(), engine.stat_dim());
-    rec.train_loss = loss_sum / static_cast<double>(buffer.size());
+    rec.train_loss = loss_sum / static_cast<double>(valid);
     changed.set_all();  // dense update: every position may have moved
   }
   rec.changed_frac =

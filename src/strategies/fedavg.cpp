@@ -6,6 +6,8 @@
 #include "agg/sparse_delta.h"
 #include "common/check.h"
 #include "compress/encoding.h"
+#include "scenario/scenario.h"
+#include "telemetry/telemetry.h"
 #include "tensor/ops.h"
 #include "wire/codec.h"
 
@@ -46,6 +48,7 @@ void FedAvgStrategy::run_round(SimEngine& engine, int round,
     std::map<int, size_t> measured;  // client -> encoded upload bytes
     for (size_t i = 0; i < included.size(); ++i) {
       const double nu = n / khat * engine.client_weight(included[i]);
+      const bool bad = engine.scenario_byzantine(round, included[i]);
       if (enc) {
         // FedAvg ships the whole dense delta; encode it, price the frame,
         // aggregate the decoded copy. The original is released right after
@@ -54,16 +57,31 @@ void FedAvgStrategy::run_round(SimEngine& engine, int round,
         wire::WireEncoder we(engine.dim());
         we.add_dense(results[i].delta.data(), results[i].delta.size());
         we.add_stats(results[i].stat_delta.data(), engine.stat_dim());
-        const std::vector<uint8_t> buf = we.finish();
+        std::vector<uint8_t> buf = we.finish();
         results[i].delta = std::vector<float>();
         results[i].stat_delta = std::vector<float>();
         measured[included[i]] = buf.size();
-        wire::WireDecoder wd(buf.data(), buf.size(), engine.dim());
-        batch.push_back(wd.take_dense(static_cast<float>(nu)));
-        const std::vector<float> dec_stats = wd.take_stats();
-        axpy(static_cast<float>(1.0 / khat), dec_stats.data(),
-             stat_agg.data(), engine.stat_dim());
+        if (bad) scenario::corrupt_frame(buf);
+        try {
+          wire::WireDecoder wd(buf.data(), buf.size(), engine.dim());
+          batch.push_back(wd.take_dense(static_cast<float>(nu)));
+          const std::vector<float> dec_stats = wd.take_stats();
+          axpy(static_cast<float>(1.0 / khat), dec_stats.data(),
+               stat_agg.data(), engine.stat_dim());
+        } catch (const CheckError&) {
+          // Server-side validation (DESIGN.md §11): a frame that fails to
+          // decode is rejected whole — its upload was priced, nothing of
+          // it touches the aggregate.
+          telemetry::count(telemetry::kScenarioFramesRejected);
+          continue;
+        }
       } else {
+        if (bad) {
+          // Analytic accounting has no frame to corrupt: model the
+          // server-side rejection of the Byzantine payload directly.
+          telemetry::count(telemetry::kScenarioFramesRejected);
+          continue;
+        }
         batch.push_back(SparseDelta::dense(std::move(results[i].delta),
                                            static_cast<float>(nu)));
         axpy(static_cast<float>(1.0 / khat), results[i].stat_delta.data(),

@@ -11,6 +11,8 @@
 #include "common/check.h"
 #include "compress/encoding.h"
 #include "compress/topk.h"
+#include "scenario/scenario.h"
+#include "telemetry/telemetry.h"
 #include "tensor/ops.h"
 #include "wire/codec.h"
 
@@ -172,6 +174,10 @@ void GlueFlStrategy::run_round(SimEngine& engine, int round,
       for (uint32_t idx : uni.idx) delta[idx] = 0.0f;
       ec_->store(client, nu, delta.data());
 
+      // Client-side state (error feedback, residuals) above runs for every
+      // included client; a Byzantine one still trained and still holds its
+      // residual — only the frame it transmits is corrupt.
+      const bool bad = engine.scenario_byzantine(round, client);
       if (enc) {
         // Serialize exactly what this client transmits, price the buffer,
         // and aggregate the DECODED payload (identity for fp32 values).
@@ -181,18 +187,31 @@ void GlueFlStrategy::run_round(SimEngine& engine, int round,
         }
         we.add_unique(uni);
         we.add_stats(results[i].stat_delta.data(), engine.stat_dim());
-        const std::vector<uint8_t> buf = we.finish();
+        std::vector<uint8_t> buf = we.finish();
         measured[client] = buf.size();
-        wire::WireDecoder wd(buf.data(), buf.size(), dim);
-        if (k_shr > 0) {
-          shr_batch.push_back(
-              wd.take_shared(shared_idx, static_cast<float>(nu), &shared_id));
+        if (bad) scenario::corrupt_frame(buf);
+        try {
+          wire::WireDecoder wd(buf.data(), buf.size(), dim);
+          // WireDecoder validates the whole frame up front, so a corrupt
+          // frame throws before any take_* can push a partial batch entry.
+          if (k_shr > 0) {
+            shr_batch.push_back(
+                wd.take_shared(shared_idx, static_cast<float>(nu),
+                               &shared_id));
+          }
+          uni_batch.push_back(wd.take_unique(static_cast<float>(nu)));
+          const std::vector<float> dec_stats = wd.take_stats();
+          axpy(static_cast<float>(1.0 / k_act), dec_stats.data(),
+               stat_agg.data(), engine.stat_dim());
+        } catch (const CheckError&) {
+          telemetry::count(telemetry::kScenarioFramesRejected);
+          continue;  // rejected whole: upload priced, aggregate untouched
         }
-        uni_batch.push_back(wd.take_unique(static_cast<float>(nu)));
-        const std::vector<float> dec_stats = wd.take_stats();
-        axpy(static_cast<float>(1.0 / k_act), dec_stats.data(),
-             stat_agg.data(), engine.stat_dim());
       } else {
+        if (bad) {
+          telemetry::count(telemetry::kScenarioFramesRejected);
+          continue;
+        }
         if (k_shr > 0) {
           shr_batch.push_back(SparseDelta::on_shared(
               shared_idx, std::move(shr_vals), static_cast<float>(nu)));

@@ -10,6 +10,8 @@
 #include "common/check.h"
 #include "compress/encoding.h"
 #include "compress/topk.h"
+#include "scenario/scenario.h"
+#include "telemetry/telemetry.h"
 #include "tensor/ops.h"
 #include "wire/codec.h"
 
@@ -82,19 +84,32 @@ void StcStrategy::run_round(SimEngine& engine, int round, RoundRecord& rec) {
       for (size_t j = 0; j < kept.idx.size(); ++j) delta[kept.idx[j]] = 0.0f;
       ec_->store(client, 1.0, delta.data());
 
+      // Client-side state (EC memory) updates above run for every included
+      // client; a Byzantine one still trained — only its wire frame lies.
+      const bool bad = engine.scenario_byzantine(round, client);
       if (enc) {
         // Ship the real top-k frame; aggregate the decoded payload.
         wire::WireEncoder we(dim);
         we.add_unique(kept);
         we.add_stats(results[i].stat_delta.data(), engine.stat_dim());
-        const std::vector<uint8_t> buf = we.finish();
+        std::vector<uint8_t> buf = we.finish();
         measured[client] = buf.size();
-        wire::WireDecoder wd(buf.data(), buf.size(), dim);
-        batch.push_back(wd.take_unique(static_cast<float>(nu)));
-        const std::vector<float> dec_stats = wd.take_stats();
-        axpy(static_cast<float>(1.0 / khat), dec_stats.data(),
-             stat_agg.data(), engine.stat_dim());
+        if (bad) scenario::corrupt_frame(buf);
+        try {
+          wire::WireDecoder wd(buf.data(), buf.size(), dim);
+          batch.push_back(wd.take_unique(static_cast<float>(nu)));
+          const std::vector<float> dec_stats = wd.take_stats();
+          axpy(static_cast<float>(1.0 / khat), dec_stats.data(),
+               stat_agg.data(), engine.stat_dim());
+        } catch (const CheckError&) {
+          telemetry::count(telemetry::kScenarioFramesRejected);
+          continue;  // rejected whole: upload priced, aggregate untouched
+        }
       } else {
+        if (bad) {
+          telemetry::count(telemetry::kScenarioFramesRejected);
+          continue;
+        }
         batch.push_back(
             SparseDelta::from_sparse(std::move(kept), static_cast<float>(nu)));
         axpy(static_cast<float>(1.0 / khat), results[i].stat_delta.data(),

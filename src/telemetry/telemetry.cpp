@@ -44,6 +44,14 @@ constexpr MetricDef kDefs[] = {
      "staleness per round)"},
     {"wire.mask.runs", MetricKind::kCounter, MetricClass::kSim,
      "total RLE runs observed across priced mask frames"},
+    {"scenario.deadline_drops", MetricKind::kCounter, MetricClass::kSim,
+     "updates discarded because the client missed the reporting deadline"},
+    {"scenario.dropouts", MetricKind::kCounter, MetricClass::kSim,
+     "clients that crashed between download and upload (fault injection)"},
+    {"scenario.frames_rejected", MetricKind::kCounter, MetricClass::kSim,
+     "client frames the server rejected as malformed/Byzantine"},
+    {"scenario.straggler_ms", MetricKind::kCounter, MetricClass::kSim,
+     "cumulative simulated milliseconds stragglers ran past the deadline"},
     {"dir.profile.hits", MetricKind::kCounter, MetricClass::kProcess,
      "ClientDirectory profile LRU cache hits (virtual mode)"},
     {"dir.profile.misses", MetricKind::kCounter, MetricClass::kProcess,

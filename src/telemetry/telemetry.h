@@ -56,6 +56,14 @@ enum MetricId : int {
   kWireDecodeValuesAvx2,
   kMaskFrames,
   kMaskRuns,
+  // Scenario fault-injection paths (DESIGN.md §11): all four are pure
+  // functions of the simulated run, so they belong to the checkpointed
+  // sim prefix. Straggler time is held in integer milliseconds so the
+  // counter stays an exact uint64 across resume.
+  kScenarioDeadlineDrops,
+  kScenarioDropouts,
+  kScenarioFramesRejected,
+  kScenarioStragglerMs,
   // -- process class: JSONL / list only --
   kDirProfileHits,
   kDirProfileMisses,
@@ -80,7 +88,7 @@ constexpr int kMaskRunBuckets = 16;
 
 // Sim-class values serialized into checkpoints: the sim scalar prefix
 // plus the histogram buckets (the histogram is sim-class).
-constexpr int kNumSimScalars = static_cast<int>(kMaskRuns) + 1;
+constexpr int kNumSimScalars = static_cast<int>(kScenarioStragglerMs) + 1;
 constexpr int kNumSimValues = kNumSimScalars + kMaskRunBuckets;
 
 struct MetricDef {

@@ -8,6 +8,11 @@
 //      valid frame must either decode or throw CheckError. Anything else
 //      (crash, sanitizer report, std::exception from a silent huge alloc
 //      guard) fails the smoke.
+//   3. Server survives: the Byzantine injection path
+//      (scenario::corrupt_frame) must ALWAYS be rejected by the decoder's
+//      whole-frame validation, and a strategy-shaped aggregate loop over
+//      mutated frames must never crash nor fold a rejected frame into the
+//      aggregate — the server-side guarantee DESIGN.md §11 leans on.
 //
 // GLUEFL_FUZZ_ITERS / GLUEFL_FUZZ_SEED tune the budget.
 #include <cstdio>
@@ -18,6 +23,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "compress/topk.h"
+#include "scenario/scenario.h"
 #include "test_util.h"
 #include "wire/codec.h"
 #include "wire/kernels.h"
@@ -137,6 +143,67 @@ int run_iteration(uint64_t seed) {
     } catch (const CheckError&) {
       // Expected failure mode for malformed frames.
     }
+  }
+
+  // Server-survives leg. First, the Byzantine injection path: a
+  // corrupt_frame'd buffer must ALWAYS fail the decoder's whole-frame
+  // validation — the engines rely on this to model rejection.
+  {
+    std::vector<uint8_t> byz = buf;
+    scenario::corrupt_frame(byz);
+    bool rejected = false;
+    try {
+      wire::WireDecoder bad(byz.data(), byz.size(), dim);
+    } catch (const CheckError&) {
+      rejected = true;
+    }
+    if (!rejected) return 7;
+  }
+  // Second, the aggregate loop the strategies run: each mutated frame is
+  // either fully consumed (ctor + every take_*) or dropped as CheckError.
+  // A decode that survives the ctor but then crashes mid-take, or any
+  // escape that is not CheckError, would let one hostile client kill or
+  // poison the round.
+  {
+    double folded = 0.0;
+    for (int m = 0; m < 8; ++m) {
+      std::vector<uint8_t> bad = buf;
+      if (rng.bernoulli(0.4) && !bad.empty()) {
+        bad.resize(static_cast<size_t>(
+            rng.uniform_int(0, static_cast<int>(bad.size()) - 1)));
+      } else if (!bad.empty()) {
+        const size_t pos = static_cast<size_t>(
+            rng.uniform_int(0, static_cast<int>(bad.size()) - 1));
+        bad[pos] = static_cast<uint8_t>(rng.uniform_int(0, 255));
+      }
+      try {
+        wire::WireDecoder srv(bad.data(), bad.size(), dim);
+        if (srv.has_dense()) {
+          const SparseDelta d = srv.take_dense(1.0f);
+          for (const float v : d.val) folded += v;
+        }
+        if (srv.has_shared()) {
+          const SparseDelta d = srv.take_shared(
+              std::make_shared<const std::vector<uint32_t>>(shared_idx),
+              1.0f);
+          for (const float v : d.val) folded += v;
+        }
+        if (srv.has_unique()) {
+          const SparseDelta d = srv.take_unique(1.0f);
+          for (const float v : d.val) folded += v;
+        }
+        if (srv.has_stats()) {
+          for (const float v : srv.take_stats()) folded += v;
+        }
+      } catch (const CheckError&) {
+        // Rejected before anything was folded — the strategies' path.
+      }
+    }
+    // Keep `folded` observable so the loop is not optimized away. Mutated
+    // value bytes may legitimately decode to NaN/inf — only containment
+    // (decode-or-CheckError) is the contract, not the folded sum.
+    volatile double sink = folded;
+    (void)sink;
   }
 
   // Same contract for the standalone mask codec: round-trip a random

@@ -1,0 +1,72 @@
+#!/usr/bin/env sh
+# Scenario regression smoke over the REAL gluefl binary (CTest:
+# scenario_resume_smoke, both Release and ASan legs). For each bundled
+# scenario (hostile: deadlines + dropouts + Byzantine clients; diurnal:
+# day/night availability over a tiered fleet):
+#
+#   1. run the campaign uninterrupted under --scenario         -> ref.json
+#   2. rerun with --checkpoint-every and --crash-at-round; the
+#      process dies with exit code 3 (simulated crash)
+#   3. `gluefl resume` from the snapshot — the scenario rides the
+#      checkpoint meta, no --scenario flag on resume           -> resumed.json
+#   4. the two JSON summaries must be byte-identical, echo the scenario
+#      verbatim, and (hostile) count rejected Byzantine frames
+#
+# Usage: scenario_resume_smoke.sh /path/to/gluefl
+set -eu
+
+bin=${1:?usage: scenario_resume_smoke.sh /path/to/gluefl}
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+for scen in hostile diurnal; do
+  dir="$work/$scen"
+  mkdir -p "$dir"
+  common="--strategy gluefl --dataset femnist --rounds 4 --scale 0.02 \
+    --eval-every 1 --seed 9 --scenario $scen"
+
+  echo "== [$scen] uninterrupted reference =="
+  "$bin" run $common --json "$dir/ref.json" > /dev/null
+
+  echo "== [$scen] crash at round 3 (checkpoint every 2) =="
+  rc=0
+  "$bin" run $common --checkpoint-every 2 --checkpoint-dir "$dir" \
+    --crash-at-round 3 > "$dir/crash.out" || rc=$?
+  if [ "$rc" -ne 3 ]; then
+    echo "error: [$scen] expected the simulated crash to exit 3, got $rc" >&2
+    cat "$dir/crash.out" >&2
+    exit 1
+  fi
+
+  ckpt="$dir/ckpt-00000002.gfc"
+  if [ ! -f "$ckpt" ]; then
+    echo "error: [$scen] expected checkpoint $ckpt was not written" >&2
+    exit 1
+  fi
+
+  echo "== [$scen] resume from $ckpt =="
+  "$bin" resume "$ckpt" --json "$dir/resumed.json" > /dev/null
+
+  if cmp -s "$dir/ref.json" "$dir/resumed.json"; then
+    echo "[$scen] resumed JSON is byte-identical to the reference"
+  else
+    echo "error: [$scen] resumed JSON differs from the reference" >&2
+    diff "$dir/ref.json" "$dir/resumed.json" >&2 || true
+    exit 1
+  fi
+
+  if ! grep -q "\"scenario\": {\"name\": \"$scen\"" "$dir/resumed.json"; then
+    echo "error: [$scen] summary does not echo the scenario spec" >&2
+    exit 1
+  fi
+done
+
+# The hostile leg must actually exercise the Byzantine rejection path:
+# rejected frames are counted in the resume-stable telemetry block.
+if grep -q '"scenario.frames_rejected": 0,' "$work/hostile/ref.json"; then
+  echo "error: hostile run rejected no Byzantine frames" >&2
+  exit 1
+fi
+
+echo "scenario resume smoke: all scenarios resumed byte-identically"
