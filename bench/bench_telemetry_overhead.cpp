@@ -6,10 +6,14 @@
 // hottest instrumented loop — the quantized wire encode+decode of a
 // GlueFL-shaped upload — in four arms:
 //
-//   disabled-a   telemetry off (g_state null): the shipped default
-//   counters     counters enabled, tracing off (what CLI runs pay)
-//   traced       counters + span tracer buffering Chrome events
-//   disabled-b   telemetry off again, interleaved AFTER the enabled arms
+//   disabled-a    telemetry off (g_state null): the shipped default
+//   counters      counters enabled, tracing off (what CLI runs pay)
+//   traced        counters + span tracer buffering Chrome events
+//   recorder-off  flight-recorder hooks inline (g_sink null): the branch
+//                 cost every run pays at the engine emission sites
+//   recorder-on   --events sink attached, one 32-client round flushed per
+//                 iteration (what recorded runs pay)
+//   disabled-b    telemetry off again, interleaved AFTER the enabled arms
 //
 // The two disabled passes bracket the enabled ones, so their relative
 // delta is the measurement noise floor on this machine; the committed
@@ -33,6 +37,7 @@
 #include "../tests/test_util.h"  // random_support: one sampler for tests+bench
 #include "bench_common.h"
 #include "common/rng.h"
+#include "telemetry/events.h"
 #include "telemetry/telemetry.h"
 #include "wire/codec.h"
 #include "wire/kernels.h"
@@ -93,6 +98,43 @@ double time_arm(const Payload& p, size_t iters, size_t reps) {
   return best_ms;
 }
 
+/// The flight-recorder hook pattern one sync round stamps on the engine:
+/// a participation record per client, an uplink back-fill, one flush.
+/// With g_sink null every call is the single predicted branch the <1%
+/// budget is about; with a sink attached this is the recorded-run cost.
+constexpr int64_t kRecorderCohort = 32;
+
+void recorder_round_once(int round) {
+  for (int64_t c = 0; c < kRecorderCohort; ++c) {
+    events::ClientEvent e;
+    e.round = round;
+    e.client = c;
+    e.down_bytes = 1u << 20;
+    e.down_s = 1.0;
+    e.compute_s = 2.0;
+    events::client(e);
+    events::set_uplink(c, 1u << 18, 0.5);
+  }
+  events::RoundSummary s;
+  s.round = round;
+  s.num_invited = static_cast<int>(kRecorderCohort);
+  s.num_included = static_cast<int>(kRecorderCohort);
+  events::round_flush(s);
+}
+
+double time_recorder_arm(const Payload& p, size_t iters, size_t reps) {
+  double best_ms = 1e300;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < iters; ++i) {
+      encode_decode_once(p);
+      recorder_round_once(static_cast<int>(i));
+    }
+    best_ms = std::min(best_ms, ms_since(t0));
+  }
+  return best_ms;
+}
+
 }  // namespace
 
 int main() {
@@ -140,6 +182,17 @@ int main() {
   const double traced_ms = time_arm(p, iters, reps);
   telemetry::reset();
 
+  // Flight-recorder arms (PR 10): same codec loop with the engine's
+  // per-round hook pattern layered on. recorder-off pays only null-check
+  // branches and must sit inside the same <1% budget; recorder-on buffers
+  // and frames real records (abandon() drops them unwritten afterwards).
+  events::reset();
+  const double recorder_off_ms = time_recorder_arm(p, iters, reps);
+  events::configure("bench-telemetry-recorder.bin.tmp");
+  const double recorder_on_ms = time_recorder_arm(p, iters, reps);
+  events::abandon();
+  std::remove("bench-telemetry-recorder.bin.tmp");
+
   const double disabled_b_ms = time_arm(p, iters, reps);
 
   const double base_ms = std::min(disabled_a_ms, disabled_b_ms);
@@ -147,6 +200,10 @@ int main() {
       (std::max(disabled_a_ms, disabled_b_ms) / base_ms - 1.0) * 100.0;
   const double counters_overhead_pct = (counters_ms / base_ms - 1.0) * 100.0;
   const double traced_overhead_pct = (traced_ms / base_ms - 1.0) * 100.0;
+  const double recorder_off_overhead_pct =
+      (recorder_off_ms / base_ms - 1.0) * 100.0;
+  const double recorder_on_overhead_pct =
+      (recorder_on_ms / base_ms - 1.0) * 100.0;
 
   TablePrinter t;
   t.set_headers({"arm", "best (ms)", "vs disabled"});
@@ -155,12 +212,18 @@ int main() {
              fmt_double(counters_overhead_pct, 2) + "%"});
   t.add_row({"traced", fmt_double(traced_ms, 2),
              fmt_double(traced_overhead_pct, 2) + "%"});
+  t.add_row({"recorder-off", fmt_double(recorder_off_ms, 2),
+             fmt_double(recorder_off_overhead_pct, 2) + "%"});
+  t.add_row({"recorder-on", fmt_double(recorder_on_ms, 2),
+             fmt_double(recorder_on_overhead_pct, 2) + "%"});
   t.add_row({"disabled-b", fmt_double(disabled_b_ms, 2),
              fmt_double(disabled_overhead_pct, 2) + "% (noise floor)"});
   std::cout << t.to_string();
   std::cout << "\ndisabled-path bound (A/B spread, contains the null-check "
                "cost): "
             << fmt_double(disabled_overhead_pct, 2) << "% — budget 1%\n"
+            << "recorder-off bound (adds the flight-recorder hook branches): "
+            << fmt_double(recorder_off_overhead_pct, 2) << "% — budget 1%\n"
             << "counters arm verified live: " << frames
             << " frames counted during timing\n";
 
@@ -174,10 +237,15 @@ int main() {
          << ", \"disabled_a_ms\": " << disabled_a_ms
          << ", \"counters_ms\": " << counters_ms
          << ", \"traced_ms\": " << traced_ms
+         << ", \"recorder_off_ms\": " << recorder_off_ms
+         << ", \"recorder_on_ms\": " << recorder_on_ms
          << ", \"disabled_b_ms\": " << disabled_b_ms
          << ", \"disabled_overhead_pct\": " << disabled_overhead_pct
          << ", \"counters_overhead_pct\": " << counters_overhead_pct
-         << ", \"traced_overhead_pct\": " << traced_overhead_pct << "}";
+         << ", \"traced_overhead_pct\": " << traced_overhead_pct
+         << ", \"recorder_off_overhead_pct\": " << recorder_off_overhead_pct
+         << ", \"recorder_on_overhead_pct\": " << recorder_on_overhead_pct
+         << "}";
     std::ofstream f(path);
     GLUEFL_CHECK_MSG(f.good(), std::string("cannot open GLUEFL_BENCH_JSON "
                                            "file '") + path + "'");

@@ -5,18 +5,18 @@
 #
 #   sh bench/trajectory.sh [OUT_JSON] [BUILD_DIR]
 #
-# Defaults: OUT_JSON=BENCH_8.json, BUILD_DIR=build. Honors the benches'
+# Defaults: OUT_JSON=BENCH_10.json, BUILD_DIR=build. Honors the benches'
 # environment knobs (GLUEFL_ROUNDS, GLUEFL_FULL, GLUEFL_AGG_*,
 # GLUEFL_WIRE_DIM, GLUEFL_WIRE_KERNEL, GLUEFL_CKPT_SCALE_PCT,
 # GLUEFL_POP_MAX, GLUEFL_TELEMETRY_REPS); CI passes GLUEFL_ROUNDS=1 for a
-# fast smoke, the committed repo-root BENCH_8.json is produced with the
+# fast smoke, the committed repo-root BENCH_10.json is produced with the
 # defaults (the wire bench's default dimension and the checkpoint bench's
 # default population are already OpenImage scale; the population bench
 # climbs to 1M clients; the telemetry bench gates the <1% disabled-path
-# overhead budget from DESIGN.md §10).
+# AND flight-recorder-off overhead budgets from DESIGN.md §10/§12).
 set -eu
 
-out=${1:-BENCH_8.json}
+out=${1:-BENCH_10.json}
 bindir=${2:-build}
 
 for bin in bench_async_throughput bench_agg_scale bench_wire_codec \

@@ -9,6 +9,7 @@
 #include "fl/async_engine.h"
 #include "fl/engine.h"
 #include "fl/strategy.h"
+#include "telemetry/events.h"
 #include "telemetry/telemetry.h"
 
 namespace gluefl::ckpt {
@@ -405,6 +406,10 @@ void CheckpointHook::on_round_end(SimEngine& engine, int round,
                                       *strategy_, async_state, meta_);
     const std::string path = checkpoint_path(opts_.dir, boundary);
     save_checkpoint(path, snap);
+    // The flight-recorder log must never run ahead of the newest
+    // checkpoint: commit its buffered rounds only once the snapshot they
+    // belong with is safely on disk (events.h, "checkpoint-consistent").
+    events::checkpoint_commit();
     last_path_ = path;
     ++saves_;
   }

@@ -68,7 +68,10 @@ inline constexpr uint32_t kMagic = 0x4B434647;  // "GFCK"
 /// Format 3: appended the sim-class telemetry counter section.
 /// Format 4: the telemetry section grew the scenario counters (the CLI
 /// additionally stores the canonical scenario JSON under meta "scenario").
-inline constexpr uint8_t kFormatVersion = 4;
+/// Format 5: the telemetry section grew the flight-recorder digest
+/// buckets (DESIGN.md §12) and the async in-flight entries carry the
+/// dispatch-time download bytes.
+inline constexpr uint8_t kFormatVersion = 5;
 inline constexpr size_t kHeaderBytes = 18;
 
 /// RoundRecord serialization shared by the history and async sections

@@ -26,7 +26,9 @@
 #include "nn/proxies.h"
 #include "strategies/factory.h"
 #include "strategies/gluefl.h"
+#include "telemetry/events.h"
 #include "telemetry/profile.h"
+#include "telemetry/report.h"
 #include "telemetry/telemetry.h"
 #include "wire/kernels.h"
 
@@ -57,6 +59,12 @@ commands:
           the final report/JSON is byte-identical to the uninterrupted run
   profile compare the telemetry blocks of two JSON summaries:
             gluefl profile A.json B.json
+  report  attribute cost and faults from a flight-recorder event log:
+            gluefl report EVENTS [--top K] [--json]
+          prints top-K stragglers, per-device-class byte/time/fate
+          breakdowns, sticky-cohort churn, mask-overlap stats and the
+          scenario fault timeline; --json emits one machine-readable
+          document instead of tables
   help    show this message
 
 run flags:
@@ -98,6 +106,11 @@ run flags:
                      Perfetto / chrome://tracing): wall-clock spans for
                      every round phase plus a simulated-clock timeline
   --metrics FILE     stream cumulative per-round metrics to FILE as JSONL
+  --events FILE      record a binary flight-recorder event log to FILE: one
+                     record per (round, client) participation — device
+                     class, bytes, phase seconds, fate, staleness — plus
+                     round summaries; inspect with `gluefl report`
+                     (run/resume only; byte-identical across --threads)
   --dry-run          validate flags and configuration, then exit without
                      running anything (accepted by run, sweep, resume and
                      profile; skips checkpoint-directory probing, file
@@ -317,6 +330,7 @@ RunOptions resolve_common(Flags& flags) {
   opt.json_path = flags.str("json", "");
   opt.trace_path = flags.str("trace", "");
   opt.metrics_path = flags.str("metrics", "");
+  opt.events_path = flags.str("events", "");
 
   require_name("dataset", opt.dataset, dataset_names());
   require_name("model", opt.model, model_names());
@@ -754,7 +768,8 @@ std::string telemetry_block_json(double down_s, double compute_s, double up_s,
      << jnum(down_s) << ", \"compute\": " << jnum(compute_s)
      << ", \"up\": " << jnum(up_s) << ", \"wall\": " << jnum(wall_s)
      << "}, \"counters\": " << telemetry::sim_counters_json()
-     << ", \"wire.mask.run_len\": " << telemetry::mask_hist_json() << "}";
+     << ", \"wire.mask.run_len\": " << telemetry::mask_hist_json()
+     << ", \"digests\": " << telemetry::digests_json() << "}";
   return os.str();
 }
 
@@ -970,11 +985,14 @@ ParsedArgs parse_args(const std::vector<std::string>& args) {
       key = key.substr(0, eq);
     } else if (key == "dry-run" ||
                ((key == "metrics" || key == "scenarios") &&
-                p.command == "list")) {
+                p.command == "list") ||
+               (key == "json" && p.command == "report")) {
       // Boolean flags never consume the next token. `--metrics` is a
       // value flag everywhere (the JSONL sink path) EXCEPT under `list`,
       // where the bare form selects the metric-registry listing;
       // `--scenarios` likewise selects the bundled-scenario listing.
+      // `--json` is a value flag everywhere (the summary file path)
+      // EXCEPT under `report`, where it selects machine output to stdout.
       value = "1";
     } else {
       if (i + 1 >= args.size()) {
@@ -1127,7 +1145,9 @@ int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   validate_output_path("json", opt.json_path);
   validate_output_path("trace", opt.trace_path);
   validate_output_path("metrics", opt.metrics_path);
+  validate_output_path("events", opt.events_path);
   telemetry::configure({opt.trace_path, opt.metrics_path});
+  if (!opt.events_path.empty()) events::configure(opt.events_path);
   SimEngine engine = make_cli_engine(opt, spec, k, topk);
   const double rss_mb =
       static_cast<double>(engine.memory_estimate_bytes()) / (1024.0 * 1024.0);
@@ -1182,11 +1202,14 @@ int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
       res = engine.run(*strategy, hook.get());
     }
   } catch (const ckpt::SimulatedCrash& crash) {
-    // The trace/JSONL written so far is exactly what a post-mortem needs.
+    // Drop the recorder's uncommitted rounds: the log must end at the
+    // last checkpoint, where the resumed run's log picks up.
+    events::abandon();
     telemetry::finalize();
     return report_simulated_crash(crash, out);
   }
 
+  events::finalize();
   telemetry::finalize();
   emit_run_report(opt, strategy_name, spec, k, pop, rss_mb, res,
                   async ? &aopt : nullptr, out);
@@ -1205,6 +1228,7 @@ int cmd_resume(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   const std::string json_path = flags.str("json", "");
   const std::string trace_path = flags.str("trace", "");
   const std::string metrics_path = flags.str("metrics", "");
+  const std::string events_path = flags.str("events", "");
   if (dry_run) {
     // Validate resume's own flags without touching the snapshot (which
     // need not exist yet when a command line is being vetted).
@@ -1219,7 +1243,11 @@ int cmd_resume(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   validate_output_path("json", json_path);
   validate_output_path("trace", trace_path);
   validate_output_path("metrics", metrics_path);
+  validate_output_path("events", events_path);
   telemetry::configure({trace_path, metrics_path});
+  // The resumed segment records to its OWN file: concatenating the
+  // crashed run's log with this one reproduces the uninterrupted log.
+  if (!events_path.empty()) events::configure(events_path);
 
   const ckpt::Snapshot snap = ckpt::load_checkpoint(path);
   // Restore the sim-class counters to the boundary so the resumed run's
@@ -1281,6 +1309,7 @@ int cmd_resume(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   opt.json_path = json_path;
   opt.trace_path = trace_path;
   opt.metrics_path = metrics_path;
+  opt.events_path = events_path;
   resolve_checkpoint_flags(flags, opt);
   flags.reject_unknown();
   // A crash boundary the resumed run will never reach is a silent no-op
@@ -1369,10 +1398,12 @@ int cmd_resume(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
                             ckpt::history_result(snap), hook.get());
     }
   } catch (const ckpt::SimulatedCrash& crash) {
+    events::abandon();  // log ends at the last checkpoint, like cmd_run
     telemetry::finalize();
     return report_simulated_crash(crash, out);
   }
 
+  events::finalize();
   telemetry::finalize();
   emit_run_report(opt, strategy_name, spec, k, pop, rss_mb, res,
                   async ? &aopt : nullptr, out);
@@ -1498,6 +1529,12 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   Flags flags(args.flags);
   const bool dry_run = flags.flag("dry-run");
   RunOptions opt = resolve_common(flags);
+  // One event log per run is the attribution contract: a sweep's arms
+  // would interleave rounds from different configurations in one file.
+  if (!opt.events_path.empty()) {
+    throw UsageError("--events requires `run` or `resume`; record one arm "
+                     "at a time with `gluefl run`");
+  }
   if (opt.exec == "async") return cmd_sweep_async(flags, opt, dry_run, out);
   reject_async_flags_in_sync_mode(flags, opt.exec);
 
@@ -1648,11 +1685,44 @@ int cmd_profile(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// `gluefl report EVENTS`: straggler / device-class / fault attribution
+/// over a flight-recorder log (see src/telemetry/report.h). Parse errors
+/// surface as ckpt::CkptError — one clean line, exit code 1.
+int cmd_report(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  (void)err;
+  Flags flags(args.flags);
+  const bool dry_run = flags.flag("dry-run");
+  const bool as_json = flags.flag("json");
+  const long top_k = flags.integer("top", 10, 0, 1000000);
+  flags.reject_unknown();
+  if (args.positionals.size() != 1) {
+    throw UsageError(
+        "report expects one event log: gluefl report EVENTS [--top K] "
+        "[--json]");
+  }
+  const std::string& path = args.positionals.front();
+  if (dry_run) {
+    // Flags only; the log need not exist yet when the command is vetted.
+    out << "dry-run: report " << path << " — flags OK\n";
+    return 0;
+  }
+  const events::EventLog log = events::read_log(path);
+  const events::Report rep =
+      events::build_report(log, static_cast<int>(top_k));
+  if (as_json) {
+    out << events::render_report_json(rep) << "\n";
+  } else {
+    out << events::render_report_text(rep);
+  }
+  return 0;
+}
+
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
   // Telemetry is process-global; a fresh command starts from a clean,
   // disabled registry (tests drive run_cli repeatedly in one process).
   telemetry::reset();
+  events::reset();
   const ParsedArgs parsed = parse_args(args);
   if (!parsed.error.empty()) {
     err << "error: " << parsed.error << "\n" << kUsage;
@@ -1671,6 +1741,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (parsed.command == "sweep") return cmd_sweep(parsed, out, err);
     if (parsed.command == "resume") return cmd_resume(parsed, out, err);
     if (parsed.command == "profile") return cmd_profile(parsed, out, err);
+    if (parsed.command == "report") return cmd_report(parsed, out, err);
     if (parsed.command == "help" || parsed.command == "--help" ||
         parsed.command == "-h") {
       out << kUsage;

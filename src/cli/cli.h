@@ -82,6 +82,10 @@ struct RunOptions {
   // only (no trace buffer, no JSONL stream).
   std::string trace_path;    // Chrome trace-event JSON; empty = off
   std::string metrics_path;  // per-round cumulative JSONL; empty = off
+  // Flight recorder (src/telemetry/events.h, DESIGN.md §12): binary
+  // per-client event log; empty = recorder off. run/resume only — sweep
+  // rejects it (interleaved arms would corrupt the attribution).
+  std::string events_path;
   // Checkpoint / fault-injection knobs (src/ckpt/, DESIGN.md §8).
   int checkpoint_every = 0;     // save every N rounds; 0 = off
   std::string checkpoint_dir;   // must exist and be writable
@@ -100,6 +104,7 @@ int cmd_run(const ParsedArgs& args, std::ostream& out, std::ostream& err);
 int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err);
 int cmd_resume(const ParsedArgs& args, std::ostream& out, std::ostream& err);
 int cmd_profile(const ParsedArgs& args, std::ostream& out, std::ostream& err);
+int cmd_report(const ParsedArgs& args, std::ostream& out, std::ostream& err);
 
 /// Known registry names (kept in sync with strategies/factory and
 /// data/presets; `gluefl list` prints these).

@@ -11,6 +11,7 @@
 #include "net/bandwidth.h"
 #include "sampling/sampler.h"
 #include "scenario/scenario.h"
+#include "telemetry/events.h"
 #include "telemetry/telemetry.h"
 #include "wire/codec.h"
 
@@ -69,6 +70,7 @@ void AsyncRunState::save_state(ckpt::Writer& w) const {
     w.f64(f.ct);
     w.f64(f.ut);
     w.varint(f.up_b);
+    w.varint(f.down_b);
     save_local(w, f.local);
     w.blob(f.wire);
   }
@@ -111,6 +113,7 @@ void AsyncRunState::restore_state(ckpt::Reader& r, int num_clients,
     f.ct = r.f64();
     f.ut = r.f64();
     f.up_b = static_cast<size_t>(r.varint());
+    f.down_b = static_cast<size_t>(r.varint());
     f.local = load_local(r, dim, stat_dim);
     f.wire = r.blob();
     if (!in_flight.insert(f.client).second) {
@@ -262,6 +265,7 @@ RunResult AsyncSimEngine::run_loop(AsyncStrategy& strategy, AsyncRunState st,
       f.seq = st.seq + i;
       f.client = c;
       f.version = st.version;
+      f.down_b = down_b;
       f.local = std::move(locals[i]);
       // Training runs eagerly at dispatch, so unlike the synchronous path
       // the async engine can serialize the real payload up front and use
@@ -330,6 +334,8 @@ RunResult AsyncSimEngine::run_loop(AsyncStrategy& strategy, AsyncRunState st,
     for (auto& u : st.buffer) {
       u.staleness = st.version - u.version;
       stale_sum += u.staleness;
+      telemetry::digest_add(telemetry::kDigestStaleness,
+                            static_cast<uint64_t>(u.staleness));
     }
     st.rec.round = st.version;
     st.rec.num_included = static_cast<int>(st.buffer.size());
@@ -347,6 +353,22 @@ RunResult AsyncSimEngine::run_loop(AsyncStrategy& strategy, AsyncRunState st,
     telemetry::round_boundary(st.rec.round, st.rec.down_time_s,
                               st.rec.compute_time_s, st.rec.up_time_s,
                               st.rec.wall_time_s);
+    // Flush the recorder round BEFORE the caller's checkpoint hook (see
+    // SimEngine::run_rounds): crash/resume log concatenation depends on it.
+    if (events::on()) {
+      events::RoundSummary summary;
+      summary.round = st.rec.round;
+      summary.num_invited = st.rec.num_invited;
+      summary.num_included = st.rec.num_included;
+      summary.down_bytes = st.rec.down_bytes;
+      summary.up_bytes = st.rec.up_bytes;
+      summary.down_time_s = st.rec.down_time_s;
+      summary.compute_time_s = st.rec.compute_time_s;
+      summary.up_time_s = st.rec.up_time_s;
+      summary.wall_time_s = st.rec.wall_time_s;
+      summary.mask_overlap = st.rec.mask_overlap;
+      events::round_flush(summary);
+    }
     st.rec = RoundRecord{};
     st.buffer.clear();
     ++st.version;
@@ -385,6 +407,45 @@ RunResult AsyncSimEngine::run_loop(AsyncStrategy& strategy, AsyncRunState st,
       telemetry::count(
           telemetry::kScenarioStragglerMs,
           static_cast<uint64_t>((elapsed - scen.deadline_s) * 1e3));
+    }
+    // Flight recorder + digests: the fold is where the fate is known, so
+    // the full record is emitted here (no back-fill as on the sync path).
+    // Fate precedence crashed > late > byzantine mirrors the server: a
+    // crashed upload never arrives and a late one is discarded undecoded,
+    // so only survivors reach the wire validation that rejects Byzantine
+    // frames (async_fedbuff does that at aggregation).
+    telemetry::digest_add(telemetry::kDigestDownBytes, f.down_b);
+    if (!crashed) {
+      telemetry::digest_add(telemetry::kDigestUpBytes, f.up_b);
+      telemetry::digest_add(telemetry::kDigestRttMs,
+                            static_cast<uint64_t>(elapsed * 1e3));
+    }
+    if (events::on()) {
+      events::ClientEvent e;
+      e.round = st.version;
+      e.client = f.client;
+      if (crashed) {
+        e.fate = events::Fate::kDropout;
+      } else if (late) {
+        e.fate = events::Fate::kDeadlineDrop;
+      } else if (scen.byzantine_rate > 0.0 &&
+                 eng.scenario_byzantine_seq(f.seq)) {
+        e.fate = events::Fate::kByzantine;
+      } else {
+        e.fate = events::Fate::kCompleted;
+      }
+      e.sticky = false;  // no sticky cohort on the async path
+      e.device_class = eng.directory().device_class(f.client);
+      e.down_bytes = f.down_b;
+      e.up_bytes = f.up_b;
+      e.down_s = f.dt;
+      e.compute_s = f.ct;
+      e.up_s = f.ut;
+      // Version gap at the fold == the staleness the strategy will weight
+      // by: the buffer is cleared at every aggregation, so st.version
+      // cannot advance between this fold and the aggregation it feeds.
+      e.staleness = st.version - f.version;
+      events::client(e);
     }
     if (!crashed && !late) {
       AsyncUpdate u;

@@ -69,6 +69,7 @@ struct AsyncInFlight {
   int version = 0;
   double dt = 0.0, ct = 0.0, ut = 0.0;
   size_t up_b = 0;
+  size_t down_b = 0;  // dispatch-time download frame bytes (unscaled)
   LocalResult local;
   std::vector<uint8_t> wire;  // encoded payload (--wire=encoded only)
 };

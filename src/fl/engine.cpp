@@ -10,6 +10,7 @@
 #include "compress/encoding.h"
 #include "net/bandwidth.h"
 #include "nn/optimizer.h"
+#include "telemetry/events.h"
 #include "telemetry/telemetry.h"
 #include "tensor/ops.h"
 #include "wire/codec.h"
@@ -322,11 +323,36 @@ Participation SimEngine::simulate_participation(
   // thread, so the telemetry counts stay thread-invariant.
   const scenario::ScenarioSpec& scen = run_cfg_.scenario;
   const bool scen_faults = scen.dropout_rate > 0.0 || scen.deadline_s > 0.0;
+  // Flight-recorder emission (DESIGN.md §12): one buffered record per
+  // recorded participation, flushed in canonical order at the round
+  // boundary. Faulted invitees record their drop here; included invitees
+  // record a completed participation in include() below (the upload leg
+  // is back-filled by price_uplinks, and the strategies upgrade the fate
+  // of rejected Byzantine frames). Over-committed invitees that survive
+  // but lose the cutoff race pay their download without a record.
+  auto record_client = [&](const Timed& t, bool sticky, events::Fate fate) {
+    telemetry::digest_add(telemetry::kDigestDownBytes, t.down_b);
+    if (!events::on()) return;
+    events::ClientEvent e;
+    e.round = round;
+    e.client = t.id;
+    e.fate = fate;
+    e.sticky = sticky;
+    e.device_class = directory_->device_class(t.id);
+    e.down_bytes = t.down_b;
+    e.up_bytes = 0;  // included clients: patched by price_uplinks
+    e.down_s = t.dt;
+    e.compute_s = t.ct;
+    e.up_s = 0.0;
+    e.staleness = sync_->staleness(t.id, round);
+    events::client(e);
+  };
   std::vector<Timed> sticky_ok, other_ok;
   if (scen_faults) {
-    auto survives = [&](const Timed& t) {
+    auto survives = [&](const Timed& t, bool sticky) {
       if (scenario_dropout(round, t.id)) {
         telemetry::count(telemetry::kScenarioDropouts);
+        record_client(t, sticky, events::Fate::kDropout);
         return false;
       }
       if (scen.deadline_s > 0.0 && t.finish > scen.deadline_s) {
@@ -334,15 +360,16 @@ Participation SimEngine::simulate_participation(
         telemetry::count(
             telemetry::kScenarioStragglerMs,
             static_cast<uint64_t>((t.finish - scen.deadline_s) * 1e3));
+        record_client(t, sticky, events::Fate::kDeadlineDrop);
         return false;
       }
       return true;
     };
     for (const auto& t : sticky_t) {
-      if (survives(t)) sticky_ok.push_back(t);
+      if (survives(t, /*sticky=*/true)) sticky_ok.push_back(t);
     }
     for (const auto& t : other_t) {
-      if (survives(t)) other_ok.push_back(t);
+      if (survives(t, /*sticky=*/false)) other_ok.push_back(t);
     }
   }
   const std::vector<Timed>& sticky_sel = scen_faults ? sticky_ok : sticky_t;
@@ -370,7 +397,7 @@ Participation SimEngine::simulate_participation(
   }
 
   Participation part;
-  auto include = [&](const Timed& t, std::vector<int>& group) {
+  auto include = [&](const Timed& t, std::vector<int>& group, bool sticky) {
     group.push_back(t.id);
     part.ready_s.push_back(t.dt + t.ct);
     rec.down_time_s = std::max(rec.down_time_s, t.dt);
@@ -380,16 +407,18 @@ Participation SimEngine::simulate_participation(
       stale_sum += st;
       ++stale_n;
     }
+    record_client(t, sticky, events::Fate::kCompleted);
   };
   const int take_sticky =
       std::min<int>(cand.need_sticky, static_cast<int>(sticky_sel.size()));
   for (int i = 0; i < take_sticky; ++i) {
-    include(sticky_sel[static_cast<size_t>(i)], part.sticky);
+    include(sticky_sel[static_cast<size_t>(i)], part.sticky, /*sticky=*/true);
   }
   const int take_other = std::min<int>(cand.need_nonsticky,
                                        static_cast<int>(other_sel.size()));
   for (int i = 0; i < take_other; ++i) {
-    include(other_sel[static_cast<size_t>(i)], part.nonsticky);
+    include(other_sel[static_cast<size_t>(i)], part.nonsticky,
+            /*sticky=*/false);
   }
 
   rec.num_included += static_cast<int>(part.sticky.size() +
@@ -433,6 +462,13 @@ void SimEngine::price_uplinks(const Participation& part,
     const double ut = transfer_seconds(
         static_cast<double>(up_b) * wire_scale_, p.up_mbps);
     const double finish = part.ready_s[i] + ut;
+    // Upload pricing is the one place the final frame size exists in both
+    // wire modes: back-fill the recorder and feed the per-client digests
+    // (finish == down + compute + up, the client's round-trip).
+    telemetry::digest_add(telemetry::kDigestUpBytes, up_b);
+    telemetry::digest_add(telemetry::kDigestRttMs,
+                          static_cast<uint64_t>(finish * 1e3));
+    events::set_uplink(id, up_b, ut);
     rec.up_time_s = std::max(rec.up_time_s, ut);
     if (topo != nullptr) {
       const size_t e = static_cast<size_t>(topo->edge_of(id));
@@ -638,6 +674,23 @@ RunResult SimEngine::run_rounds(Strategy& strategy, int first_round,
     result.rounds.push_back(rec);
     telemetry::round_boundary(t, rec.down_time_s, rec.compute_time_s,
                               rec.up_time_s, rec.wall_time_s);
+    // Flush the flight-recorder round BEFORE the checkpoint hook: a
+    // snapshot saved at this boundary commits the log segment including
+    // this round, keeping the on-disk log checkpoint-consistent.
+    if (events::on()) {
+      events::RoundSummary summary;
+      summary.round = t;
+      summary.num_invited = rec.num_invited;
+      summary.num_included = rec.num_included;
+      summary.down_bytes = rec.down_bytes;
+      summary.up_bytes = rec.up_bytes;
+      summary.down_time_s = rec.down_time_s;
+      summary.compute_time_s = rec.compute_time_s;
+      summary.up_time_s = rec.up_time_s;
+      summary.wall_time_s = rec.wall_time_s;
+      summary.mask_overlap = rec.mask_overlap;
+      events::round_flush(summary);
+    }
     if (hook != nullptr) {
       hook->on_round_end(*this, t, result, /*async_state=*/nullptr);
     }

@@ -11,6 +11,7 @@
 #include "compress/bitmask.h"
 #include "compress/encoding.h"
 #include "scenario/scenario.h"
+#include "telemetry/events.h"
 #include "telemetry/telemetry.h"
 #include "tensor/ops.h"
 #include "wire/codec.h"
@@ -144,11 +145,13 @@ void ApfStrategy::run_round(SimEngine& engine, int round, RoundRecord& rec) {
                stat_agg.data(), engine.stat_dim());
         } catch (const CheckError&) {
           telemetry::count(telemetry::kScenarioFramesRejected);
+          events::mark_byzantine(included[i]);
           continue;  // rejected whole: upload priced, aggregate untouched
         }
       } else {
         if (bad) {
           telemetry::count(telemetry::kScenarioFramesRejected);
+          events::mark_byzantine(included[i]);
           continue;
         }
         // Only active coordinates are transmitted / aggregated.

@@ -45,6 +45,10 @@ void AsyncFedBuffStrategy::aggregate(SimEngine& engine, int version,
                               engine.dim());
     } catch (const CheckError&) {
       ok[i] = 0;
+      // No events::mark_byzantine here: the async engine derives the fate
+      // from the dispatch seq at fold time (the same predicate that made
+      // this frame corrupt), so the flight-recorder record already says
+      // kByzantine before this rejection runs.
       telemetry::count(telemetry::kScenarioFramesRejected);
     }
   }

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "compress/encoding.h"
 #include "scenario/scenario.h"
+#include "telemetry/events.h"
 #include "telemetry/telemetry.h"
 #include "tensor/ops.h"
 #include "wire/codec.h"
@@ -73,6 +74,7 @@ void FedAvgStrategy::run_round(SimEngine& engine, int round,
           // decode is rejected whole — its upload was priced, nothing of
           // it touches the aggregate.
           telemetry::count(telemetry::kScenarioFramesRejected);
+          events::mark_byzantine(included[i]);
           continue;
         }
       } else {
@@ -80,6 +82,7 @@ void FedAvgStrategy::run_round(SimEngine& engine, int round,
           // Analytic accounting has no frame to corrupt: model the
           // server-side rejection of the Byzantine payload directly.
           telemetry::count(telemetry::kScenarioFramesRejected);
+          events::mark_byzantine(included[i]);
           continue;
         }
         batch.push_back(SparseDelta::dense(std::move(results[i].delta),

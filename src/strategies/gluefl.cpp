@@ -12,6 +12,7 @@
 #include "compress/encoding.h"
 #include "compress/topk.h"
 #include "scenario/scenario.h"
+#include "telemetry/events.h"
 #include "telemetry/telemetry.h"
 #include "tensor/ops.h"
 #include "wire/codec.h"
@@ -205,11 +206,13 @@ void GlueFlStrategy::run_round(SimEngine& engine, int round,
                stat_agg.data(), engine.stat_dim());
         } catch (const CheckError&) {
           telemetry::count(telemetry::kScenarioFramesRejected);
+          events::mark_byzantine(client);
           continue;  // rejected whole: upload priced, aggregate untouched
         }
       } else {
         if (bad) {
           telemetry::count(telemetry::kScenarioFramesRejected);
+          events::mark_byzantine(client);
           continue;
         }
         if (k_shr > 0) {

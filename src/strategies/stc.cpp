@@ -11,6 +11,7 @@
 #include "compress/encoding.h"
 #include "compress/topk.h"
 #include "scenario/scenario.h"
+#include "telemetry/events.h"
 #include "telemetry/telemetry.h"
 #include "tensor/ops.h"
 #include "wire/codec.h"
@@ -103,11 +104,13 @@ void StcStrategy::run_round(SimEngine& engine, int round, RoundRecord& rec) {
                stat_agg.data(), engine.stat_dim());
         } catch (const CheckError&) {
           telemetry::count(telemetry::kScenarioFramesRejected);
+          events::mark_byzantine(client);
           continue;  // rejected whole: upload priced, aggregate untouched
         }
       } else {
         if (bad) {
           telemetry::count(telemetry::kScenarioFramesRejected);
+          events::mark_byzantine(client);
           continue;
         }
         batch.push_back(

@@ -83,6 +83,59 @@ std::string diff_profiles(const std::string& doc_a, const std::string& doc_b,
   }
   out << "\nsim counters:\n" << counters.to_string();
 
+  // Flight-recorder digests (DESIGN.md §12): per-digest sample totals plus
+  // the highest populated log2 bucket — the tail is what moves when a
+  // change slows stragglers down. Summaries from binaries predating the
+  // digest block diff gracefully rather than fail.
+  const json::Value* da = a.find("digests");
+  const json::Value* db = b.find("digests");
+  if (da == nullptr && db == nullptr) {
+    out << "\ndigests: not present in either summary (older gluefl)\n";
+  } else {
+    TablePrinter digests;
+    digests.set_headers({"digest (samples)", "A", "B", "delta", "A tail",
+                         "B tail"});
+    auto total = [](const json::Value* h) {
+      double t = 0.0;
+      if (h != nullptr) {
+        for (const json::Value& v : h->arr) t += v.number;
+      }
+      return t;
+    };
+    auto tail = [](const json::Value* h) {
+      int top = -1;
+      if (h != nullptr) {
+        for (size_t i = 0; i < h->arr.size(); ++i) {
+          if (h->arr[i].number > 0.0) top = static_cast<int>(i);
+        }
+      }
+      return top < 0 ? std::string("-") : "2^" + std::to_string(top);
+    };
+    // Union of digest names, A's order first, then B-only ones.
+    std::vector<std::string> names;
+    if (da != nullptr) {
+      for (const auto& kv : da->obj) names.push_back(kv.first);
+    }
+    if (db != nullptr) {
+      for (const auto& kv : db->obj) {
+        if (da == nullptr || da->find(kv.first) == nullptr) {
+          names.push_back(kv.first);
+        }
+      }
+    }
+    for (const std::string& name : names) {
+      const json::Value* ah = da != nullptr ? da->find(name) : nullptr;
+      const json::Value* bh = db != nullptr ? db->find(name) : nullptr;
+      const double va = total(ah);
+      const double vb = total(bh);
+      digests.add_row({name, num(va), num(vb), num(vb - va), tail(ah),
+                       tail(bh)});
+    }
+    out << "\ndigests:\n" << digests.to_string();
+    if (da == nullptr) out << "(A has no digest block; older gluefl)\n";
+    if (db == nullptr) out << "(B has no digest block; older gluefl)\n";
+  }
+
   // Byte totals get a human-readable summary line: the headline number
   // a trajectory reader wants first.
   const json::Value* ea = ca.find("wire.encode.bytes");

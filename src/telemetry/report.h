@@ -1,0 +1,91 @@
+// `gluefl report` (DESIGN.md §12): offline attribution over a flight-
+// recorder event log. Everything here is a pure function of the log, so
+// the same log always renders the same report — the tests diff rendered
+// output byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/events.h"
+
+namespace gluefl {
+namespace events {
+
+/// Per-client aggregate across every recorded participation.
+struct ClientStat {
+  int64_t client = 0;
+  int device_class = -1;
+  int participations = 0;
+  int completed = 0;
+  int deadline_drops = 0;
+  int dropouts = 0;
+  int byzantine = 0;
+  uint64_t down_bytes = 0;
+  uint64_t up_bytes = 0;
+  /// Sum of down + compute + up over all participations — the ranking key
+  /// for straggler attribution.
+  double total_s = 0.0;
+  double max_rtt_s = 0.0;
+  int max_rtt_round = 0;
+};
+
+/// Per-device-class aggregate ("unclassed" covers device_class == -1,
+/// i.e. scenarios that define no device tiers).
+struct ClassStat {
+  int device_class = -1;
+  int participations = 0;
+  int completed = 0;
+  int deadline_drops = 0;
+  int dropouts = 0;
+  int byzantine = 0;
+  uint64_t down_bytes = 0;
+  uint64_t up_bytes = 0;
+  double total_s = 0.0;
+};
+
+/// One round with at least one scenario fault (the fault timeline).
+struct FaultRound {
+  int round = 0;
+  int deadline_drops = 0;
+  int dropouts = 0;
+  int byzantine = 0;
+};
+
+struct Report {
+  int num_rounds = 0;          // round-summary records
+  int num_clients = 0;         // distinct client ids
+  int participations = 0;      // client records
+  int completed = 0;
+  int deadline_drops = 0;
+  int dropouts = 0;
+  int byzantine = 0;
+  /// Top-K clients by total_s, descending (client id breaks ties).
+  std::vector<ClientStat> stragglers;
+  /// Ascending device class; only classes that appear in the log.
+  std::vector<ClassStat> classes;
+  /// Sticky-cohort churn across consecutive recorded rounds: a round's
+  /// churn is |sticky_t \ sticky_{t-1}| / |sticky_t|.
+  int sticky_rounds = 0;       // rounds with a non-empty sticky cohort
+  double mean_sticky = 0.0;    // mean sticky-cohort size over those rounds
+  double mean_churn = 0.0;     // mean churn over consecutive sticky rounds
+  /// Mask-overlap stats over the round summaries (sync sharing economics).
+  double overlap_mean = 0.0;
+  double overlap_min = 0.0;
+  double overlap_max = 0.0;
+  /// Rounds with at least one fault, ascending.
+  std::vector<FaultRound> faults;
+};
+
+/// Aggregates a parsed log. `top_k` bounds the straggler list (>= 0).
+Report build_report(const EventLog& log, int top_k);
+
+/// Human-readable tables (the default `gluefl report` output).
+std::string render_report_text(const Report& r);
+
+/// Machine output for `gluefl report --json` (schema gluefl.report.v1).
+std::string render_report_json(const Report& r);
+
+}  // namespace events
+}  // namespace gluefl

@@ -76,10 +76,24 @@ constexpr MetricDef kDefs[] = {
      "peak resident set size of the process (getrusage), MB"},
     {"wire.mask.run_len", MetricKind::kHistogram, MetricClass::kSim,
      "histogram of mask RLE run lengths, bucketed by bit width"},
+    // Flight-recorder digests (DESIGN.md §12), one row per DigestId —
+    // keep this tail aligned with kDigestNames below.
+    {"client.rtt_ms_log2", MetricKind::kHistogram, MetricClass::kSim,
+     "per-participation round-trip time (down+compute+up), log2 ms buckets"},
+    {"client.down_bytes_log2", MetricKind::kHistogram, MetricClass::kSim,
+     "per-participation download frame bytes, log2 buckets"},
+    {"client.up_bytes_log2", MetricKind::kHistogram, MetricClass::kSim,
+     "per-participation upload frame bytes, log2 buckets"},
+    {"async.staleness_log2", MetricKind::kHistogram, MetricClass::kSim,
+     "async model-version staleness at aggregation, log2 buckets"},
 };
 constexpr int kNumDefs = static_cast<int>(sizeof(kDefs) / sizeof(kDefs[0]));
-static_assert(kNumDefs == kNumScalarMetrics + 1,
-              "registry table out of sync with MetricId");
+static_assert(kNumDefs == kNumScalarMetrics + 1 + kNumDigests,
+              "registry table out of sync with MetricId/DigestId");
+
+// Digest JSON keys, indexed by DigestId (same strings as the registry
+// rows above — the table tail starts at kNumScalarMetrics + 1).
+const char* digest_name(int d) { return kDefs[kNumScalarMetrics + 1 + d].name; }
 
 struct TraceEvent {
   const char* name;
@@ -111,6 +125,7 @@ namespace detail {
 struct State {
   std::atomic<uint64_t> values[kNumScalarMetrics] = {};
   std::atomic<uint64_t> hist[kMaskRunBuckets] = {};
+  std::atomic<uint64_t> digests[kNumDigests][kDigestBuckets] = {};
 
   bool trace_on = false;
   std::string trace_path;
@@ -126,6 +141,9 @@ struct State {
   void clear() {
     for (auto& v : values) v.store(0, std::memory_order_relaxed);
     for (auto& v : hist) v.store(0, std::memory_order_relaxed);
+    for (auto& row : digests) {
+      for (auto& v : row) v.store(0, std::memory_order_relaxed);
+    }
     trace_on = false;
     trace_path.clear();
     events.clear();
@@ -158,6 +176,15 @@ void hist_slow(uint32_t run_len) {
   }
   g_state->hist[b].fetch_add(1, std::memory_order_relaxed);
   g_state->values[kMaskRuns].fetch_add(1, std::memory_order_relaxed);
+}
+
+void digest_slow(int digest, uint64_t v) {
+  int b = 0;
+  while ((v >> 1) != 0 && b < kDigestBuckets - 1) {
+    v >>= 1;
+    ++b;
+  }
+  g_state->digests[digest][b].fetch_add(1, std::memory_order_relaxed);
 }
 
 bool tracing_on() { return g_state->trace_on; }
@@ -244,7 +271,8 @@ void round_boundary(int round, double down_s, double compute_s, double up_s,
       line << "\"" << kDefs[i].name << "\": "
            << s->values[i].load(std::memory_order_relaxed);
     }
-    line << "}, \"wire.mask.run_len\": " << mask_hist_json() << "}";
+    line << "}, \"wire.mask.run_len\": " << mask_hist_json()
+         << ", \"digests\": " << digests_json() << "}";
     s->metrics_out << line.str() << "\n";
   }
 }
@@ -321,6 +349,13 @@ std::vector<uint64_t> sim_values() {
       out[static_cast<size_t>(kNumSimScalars + i)] =
           s->hist[i].load(std::memory_order_relaxed);
     }
+    for (int d = 0; d < kNumDigests; ++d) {
+      for (int i = 0; i < kDigestBuckets; ++i) {
+        out[static_cast<size_t>(kNumSimScalars + kMaskRunBuckets +
+                                d * kDigestBuckets + i)] =
+            s->digests[d][i].load(std::memory_order_relaxed);
+      }
+    }
   }
   return out;
 }
@@ -337,6 +372,14 @@ void set_sim_values(const std::vector<uint64_t>& values) {
     const size_t idx = static_cast<size_t>(kNumSimScalars + i);
     s->hist[i].store(idx < values.size() ? values[idx] : 0,
                      std::memory_order_relaxed);
+  }
+  for (int d = 0; d < kNumDigests; ++d) {
+    for (int i = 0; i < kDigestBuckets; ++i) {
+      const size_t idx = static_cast<size_t>(kNumSimScalars + kMaskRunBuckets +
+                                             d * kDigestBuckets + i);
+      s->digests[d][i].store(idx < values.size() ? values[idx] : 0,
+                             std::memory_order_relaxed);
+    }
   }
 }
 
@@ -362,6 +405,35 @@ std::string mask_hist_json() {
     os << h[i];
   }
   os << "]";
+  return os.str();
+}
+
+std::vector<uint64_t> digest_hist(DigestId digest) {
+  std::vector<uint64_t> out(static_cast<size_t>(kDigestBuckets), 0);
+  detail::State* s = detail::g_state;
+  if (s != nullptr) {
+    for (int i = 0; i < kDigestBuckets; ++i) {
+      out[static_cast<size_t>(i)] =
+          s->digests[digest][i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::string digests_json() {
+  std::ostringstream os;
+  os << "{";
+  for (int d = 0; d < kNumDigests; ++d) {
+    if (d > 0) os << ", ";
+    os << "\"" << digest_name(d) << "\": [";
+    const std::vector<uint64_t> h = digest_hist(static_cast<DigestId>(d));
+    for (size_t i = 0; i < h.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << h[i];
+    }
+    os << "]";
+  }
+  os << "}";
   return os.str();
 }
 

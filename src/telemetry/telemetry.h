@@ -86,10 +86,28 @@ enum MetricId : int {
 // bucket 3 is lengths 8..15, the last bucket collects the tail.
 constexpr int kMaskRunBuckets = 16;
 
-// Sim-class values serialized into checkpoints: the sim scalar prefix
-// plus the histogram buckets (the histogram is sim-class).
+// Per-client digest histograms (DESIGN.md §12): fixed-bucket log2
+// summaries of the flight-recorder's per-participation values, fed by the
+// engines whether or not an --events sink is attached. Bucket b counts
+// values v with floor(log2(max(v, 1))) == b; the last bucket collects
+// the tail. All four are sim-class: pure functions of the simulated run,
+// so they ride the checkpointed sim prefix (format v5) and the JSON
+// summary's "telemetry" block.
+enum DigestId : int {
+  kDigestRttMs = 0,      // client round-trip (down+compute+up), whole ms
+  kDigestDownBytes,      // per-participation download frame bytes
+  kDigestUpBytes,        // per-participation upload frame bytes
+  kDigestStaleness,      // async model-version staleness at aggregation
+  kNumDigests,
+};
+constexpr int kDigestBuckets = 16;
+
+// Sim-class values serialized into checkpoints: the sim scalar prefix,
+// the mask histogram buckets, then the digest buckets row-major in
+// DigestId order (all histograms are sim-class).
 constexpr int kNumSimScalars = static_cast<int>(kScenarioStragglerMs) + 1;
-constexpr int kNumSimValues = kNumSimScalars + kMaskRunBuckets;
+constexpr int kNumSimValues =
+    kNumSimScalars + kMaskRunBuckets + kNumDigests * kDigestBuckets;
 
 struct MetricDef {
   const char* name;
@@ -109,6 +127,7 @@ extern State* g_state;  // null <=> telemetry fully disabled
 void count_slow(int id, uint64_t delta);
 void gauge_slow(int id, uint64_t value);
 void hist_slow(uint32_t run_len);
+void digest_slow(int digest, uint64_t v);
 bool tracing_on();
 double now_us();
 void span_emit(const char* name, double t0_us);
@@ -130,6 +149,11 @@ inline void gauge_set(MetricId id, uint64_t value) {
 /// Records one mask RLE run of `run_len` bits (also bumps kMaskRuns).
 inline void hist_mask_run(uint32_t run_len) {
   if (detail::g_state != nullptr) detail::hist_slow(run_len);
+}
+
+/// Adds one observation to a per-client digest histogram.
+inline void digest_add(DigestId digest, uint64_t v) {
+  if (detail::g_state != nullptr) detail::digest_slow(digest, v);
 }
 
 /// RAII wall-clock span on the wall track (pid 1). Emits a Chrome
@@ -211,6 +235,9 @@ uint64_t value(MetricId id);
 /// Histogram bucket counts (kMaskRunBuckets entries; zeros if disabled).
 std::vector<uint64_t> mask_run_hist();
 
+/// One digest's bucket counts (kDigestBuckets entries; zeros if disabled).
+std::vector<uint64_t> digest_hist(DigestId digest);
+
 // ---- checkpoint integration (sim class only; ckpt format v3) ----
 
 /// Always returns kNumSimValues entries (zeros when disabled): the sim
@@ -228,6 +255,10 @@ std::string sim_counters_json();
 
 /// Renders the mask run-length histogram as a JSON array `[n0, n1, ...]`.
 std::string mask_hist_json();
+
+/// Renders the four digest histograms as one JSON object
+/// `{"client.rtt_ms_log2": [...], ...}` in DigestId order.
+std::string digests_json();
 
 }  // namespace telemetry
 }  // namespace gluefl

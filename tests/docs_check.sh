@@ -64,7 +64,7 @@ while IFS='	' read -r doc cmdline; do
   set -- $cmdline
   case "$1" in
     list | help) extra="" ;;
-    run | sweep | resume | profile) extra="--dry-run" ;;
+    run | sweep | resume | profile | report) extra="--dry-run" ;;
     *)
       echo "FAIL [$doc]: unknown gluefl command in docs: gluefl $cmdline" >&2
       fail=1

@@ -67,7 +67,8 @@ struct TelemetryGuard {
 // ---------------------------------------------------------------- registry
 
 TEST(TelemetryRegistry, TableMatchesMetricIdsAndNamesAreUnique) {
-  ASSERT_EQ(telemetry::num_metric_defs(), telemetry::kNumScalarMetrics + 1);
+  ASSERT_EQ(telemetry::num_metric_defs(),
+            telemetry::kNumScalarMetrics + 1 + telemetry::kNumDigests);
   std::set<std::string> names;
   for (int i = 0; i < telemetry::num_metric_defs(); ++i) {
     const telemetry::MetricDef& d = telemetry::metric_defs()[i];
@@ -76,13 +77,17 @@ TEST(TelemetryRegistry, TableMatchesMetricIdsAndNamesAreUnique) {
     EXPECT_TRUE(names.insert(d.name).second) << "duplicate name " << d.name;
   }
   // The sim prefix (checkpointed + JSON-eligible) is exactly the scalars
-  // before kDirProfileHits plus the trailing histogram row.
+  // before kDirProfileHits plus the trailing histogram row and the
+  // flight-recorder digest rows.
   for (int i = 0; i < telemetry::kNumSimScalars; ++i) {
     EXPECT_EQ(telemetry::metric_defs()[i].cls, telemetry::MetricClass::kSim)
         << telemetry::metric_defs()[i].name;
   }
-  EXPECT_EQ(telemetry::metric_defs()[telemetry::kNumScalarMetrics].cls,
-            telemetry::MetricClass::kSim);
+  for (int i = telemetry::kNumScalarMetrics; i < telemetry::num_metric_defs();
+       ++i) {
+    EXPECT_EQ(telemetry::metric_defs()[i].cls, telemetry::MetricClass::kSim)
+        << telemetry::metric_defs()[i].name;
+  }
 }
 
 TEST(TelemetryRegistry, DisabledPathIsInertAndReadsZero) {
@@ -442,7 +447,11 @@ TEST(TelemetryJsonl, OneParsableCumulativeRecordPerRound) {
     const double bytes = rec.at("counters").at("wire.encode.bytes").number;
     EXPECT_GE(bytes, last_bytes);  // cumulative, monotone
     last_bytes = bytes;
+    // The peak-RSS gauge is sampled at every round boundary, so each
+    // record carries a live (nonzero) high-water mark.
+    EXPECT_GT(rec.at("counters").at("process.peak_rss_mb").number, 0.0);
     ASSERT_TRUE(rec.at("wire.mask.run_len").is_array());
+    ASSERT_TRUE(rec.at("digests").is_object());
     ++rounds;
   }
   EXPECT_EQ(rounds, 3);
